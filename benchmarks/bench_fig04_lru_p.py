@@ -1,0 +1,16 @@
+"""Figure 4: performance gain of LRU-P compared to LRU.
+
+Paper shape: the largest gains appear for small buffers performing window
+queries of medium size; for database 1 with large buffers and point/small
+window queries the gain vanishes or turns negative.
+"""
+
+from conftest import publish, run_once
+
+from repro.experiments.figures import figure_04
+
+
+def test_figure_04_lru_p(benchmark, paper_setup, results_dir):
+    result = run_once(benchmark, lambda: figure_04(paper_setup))
+    publish(result, results_dir)
+    assert result.rows

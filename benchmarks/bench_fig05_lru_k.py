@@ -1,0 +1,16 @@
+"""Figure 5: performance gain of LRU-2/3/5 compared to LRU (database 1).
+
+Paper shape: 15-25 % gains for point and small/medium window queries,
+roughly none for large windows, and no significant difference between the
+K values — the reason the paper uses LRU-2 as the representative.
+"""
+
+from conftest import publish, run_once
+
+from repro.experiments.figures import figure_05
+
+
+def test_figure_05_lru_k(benchmark, paper_setup, results_dir):
+    result = run_once(benchmark, lambda: figure_05(paper_setup))
+    publish(result, results_dir)
+    assert result.rows

@@ -1,0 +1,18 @@
+"""Figure 6: the five spatial criteria relative to A (= 100 %).
+
+Paper shape: A performs best with the 0.3 % buffer and EO worst; with the
+4.7 % buffer A and M are about equal while EA, EM and EO fall behind.  At
+the reproduction's scale the criteria differ by only a few percent (our
+synthetic pages have more uniform shapes than GNIS pages), but the ordering
+trend — page-level criteria at least as good as entry-sum criteria — holds.
+"""
+
+from conftest import publish, run_once
+
+from repro.experiments.figures import figure_06
+
+
+def test_figure_06_spatial_criteria(benchmark, paper_setup, results_dir):
+    result = run_once(benchmark, lambda: figure_06(paper_setup))
+    publish(result, results_dir)
+    assert result.rows

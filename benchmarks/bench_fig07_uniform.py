@@ -1,0 +1,16 @@
+"""Figure 7: LRU-P vs A vs LRU-2 under the uniform distribution.
+
+Paper shape: the spatial strategy A is the clear winner — uniformly
+distributed queries often request subtrees with large spatial extension,
+which is exactly what the area criterion keeps buffered.
+"""
+
+from conftest import publish, run_once
+
+from repro.experiments.figures import figure_07
+
+
+def test_figure_07_uniform(benchmark, paper_setup, results_dir):
+    result = run_once(benchmark, lambda: figure_07(paper_setup))
+    publish(result, results_dir)
+    assert result.rows

@@ -1,0 +1,15 @@
+"""Figure 8: LRU-P vs A vs LRU-2 under the identical/similar distributions.
+
+Paper shape: A matches or beats LRU-2 in most cases (gains up to 30 %),
+but the gains can collapse for large window queries in some sets.
+"""
+
+from conftest import publish, run_once
+
+from repro.experiments.figures import figure_08
+
+
+def test_figure_08_identical_similar(benchmark, paper_setup, results_dir):
+    result = run_once(benchmark, lambda: figure_08(paper_setup))
+    publish(result, results_dir)
+    assert result.rows

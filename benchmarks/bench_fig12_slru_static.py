@@ -1,0 +1,16 @@
+"""Figure 12: static candidate sets (SLRU 50 % and 25 %) vs pure A.
+
+Paper shape: the combination shifts A towards LRU — smaller gains where A
+excelled, and A's losses turn into (slight) gains, more so for the 25 %
+candidate set.
+"""
+
+from conftest import publish, run_once
+
+from repro.experiments.figures import figure_12
+
+
+def test_figure_12_slru_static(benchmark, paper_setup, results_dir):
+    result = run_once(benchmark, lambda: figure_12(paper_setup))
+    publish(result, results_dir)
+    assert result.rows

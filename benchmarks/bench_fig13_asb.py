@@ -1,0 +1,27 @@
+"""Figure 13: the headline comparison — A, SLRU, ASB and LRU-2 vs LRU.
+
+Paper shape: ASB tracks A where A excels and avoids its losses elsewhere,
+achieving a gain (or at worst LRU-level cost) for *every* query set without
+the unbounded history memory LRU-2 needs.
+"""
+
+from conftest import parse_gain, publish, run_once
+
+from repro.experiments.figures import figure_13
+
+
+def test_figure_13_asb(benchmark, paper_setup, results_dir):
+    result = run_once(benchmark, lambda: figure_13(paper_setup))
+    publish(result, results_dir)
+    assert result.rows
+    # Shape guards (the paper's central claims):
+    a_col = result.headers.index("A")
+    asb_col = result.headers.index("ASB")
+    a_gains = [parse_gain(row[a_col]) for row in result.rows]
+    asb_gains = [parse_gain(row[asb_col]) for row in result.rows]
+    # 1. The pure spatial policy is NOT robust: it loses >= 10 % somewhere.
+    assert min(a_gains) < -0.10, "A should collapse on an intensified set"
+    # 2. ASB IS robust: never meaningfully below LRU (noise margin 5 %).
+    assert min(asb_gains) > -0.05, "ASB must stay at LRU level or above"
+    # 3. ASB keeps real upside where the spatial criterion works.
+    assert max(asb_gains) > 0.08

@@ -1,0 +1,88 @@
+"""CPU overhead of the replacement policies themselves.
+
+The paper argues that the area/margin criteria cost "only a small overhead"
+when a page is loaded, while the overlap criterion is costlier.  This bench
+measures the wall-clock cost of serving a fixed access pattern under each
+policy — the only bench where time (not I/O counts) is the metric, so it
+uses pytest-benchmark's statistical machinery with real rounds.
+"""
+
+import random
+
+import pytest
+
+from repro.buffer.manager import BufferManager
+from repro.buffer.policies import (
+    ARC,
+    ASB,
+    LRU,
+    LRUK,
+    SLRU,
+    SpatialPolicy,
+    TwoQ,
+)
+from repro.geometry.rect import Rect
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import Page, PageEntry, PageType
+
+N_PAGES = 400
+CAPACITY = 64
+ENTRIES_PER_PAGE = 24
+
+POLICIES = {
+    "LRU": LRU,
+    "LRU-2": lambda: LRUK(k=2),
+    "A": lambda: SpatialPolicy("A"),
+    "EO": lambda: SpatialPolicy("EO"),
+    "SLRU": lambda: SLRU(fraction=0.25),
+    "ASB": ASB,
+    "2Q": TwoQ,
+    "ARC": ARC,
+}
+
+
+def build_disk() -> SimulatedDisk:
+    rng = random.Random(7)
+    disk = SimulatedDisk()
+    for page_id in range(N_PAGES):
+        page = Page(page_id=page_id, page_type=PageType.DATA)
+        for _ in range(ENTRIES_PER_PAGE):
+            x, y = rng.random(), rng.random()
+            w, h = rng.random() * 0.02, rng.random() * 0.02
+            page.entries.append(
+                PageEntry(mbr=Rect(x, y, x + w, y + h), payload=page_id)
+            )
+        disk.store(page)
+    return disk
+
+
+def build_trace() -> list[int]:
+    rng = random.Random(8)
+    # An 80/20-style pattern: most accesses to a fifth of the pages.
+    hot = list(range(N_PAGES // 5))
+    trace = []
+    for _ in range(6_000):
+        if rng.random() < 0.8:
+            trace.append(rng.choice(hot))
+        else:
+            trace.append(rng.randrange(N_PAGES))
+    return trace
+
+
+@pytest.fixture(scope="module")
+def shared():
+    return build_disk(), build_trace()
+
+
+@pytest.mark.parametrize("name", sorted(POLICIES))
+def test_policy_cpu_overhead(benchmark, shared, name):
+    disk, trace = shared
+
+    def serve():
+        buffer = BufferManager(disk, CAPACITY, POLICIES[name]())
+        for page_id in trace:
+            buffer.fetch(page_id)
+        return buffer.stats.misses
+
+    misses = benchmark(serve)
+    assert misses > 0

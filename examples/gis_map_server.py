@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""A GIS map-server session: panning and zooming over an indexed map.
+
+The paper's motivation is interactive spatial applications whose query
+streams shift over time.  This example simulates a map-viewer backend:
+
+* a user session starts with a city search (point query),
+* then pans across the map (overlapping window queries),
+* then zooms in and out (windows of changing size),
+* different users focus on different regions.
+
+The buffer manager sits between the R*-tree and the simulated disk; the
+example reports how many physical page reads each replacement policy needs
+to serve the identical session stream.
+
+Run:  python examples/gis_map_server.py
+"""
+
+import random
+
+from repro import ASB, LRU, LRUK, BufferManager, Point, Rect, RStarTree, SpatialPolicy
+from repro.datasets.places import synthetic_places
+from repro.datasets.synthetic import us_mainland_like
+from repro.workloads.queries import PointQuery, WindowQuery
+
+N_OBJECTS = 25_000
+N_SESSIONS = 12
+BUFFER_PAGES = 64
+
+
+def user_session(rng, places, space):
+    """One user's queries: search, pan, zoom (a correlated burst)."""
+    queries = []
+    # Weighted city pick: users look at big cities more often.
+    place = rng.choices(places, weights=[p.population for p in places], k=1)[0]
+    center = place.location
+    queries.append(PointQuery(center))
+    # Pan: a row of overlapping viewports drifting from the city.
+    viewport = 0.04
+    x, y = center.x, center.y
+    for _ in range(rng.randint(3, 8)):
+        x += rng.uniform(-viewport / 2, viewport / 2)
+        y += rng.uniform(-viewport / 2, viewport / 2)
+        window = Rect.from_center(Point(x, y), viewport, viewport)
+        clipped = window.clipped(space)
+        if clipped is not None:
+            queries.append(WindowQuery(clipped))
+    # Zoom out, then back in.
+    for factor in (2.0, 4.0, 1.0):
+        window = Rect.from_center(center, viewport * factor, viewport * factor)
+        clipped = window.clipped(space)
+        if clipped is not None:
+            queries.append(WindowQuery(clipped))
+    return queries
+
+
+def main() -> None:
+    dataset = us_mainland_like(n_objects=N_OBJECTS, seed=21)
+    places = synthetic_places(dataset, count=400, seed=22)
+    tree = RStarTree()
+    tree.bulk_load(dataset.items())
+    print(
+        f"map database: {len(dataset)} features, "
+        f"{tree.stats().page_count} pages, height {tree.stats().height}"
+    )
+
+    rng = random.Random(23)
+    sessions = [user_session(rng, places, dataset.space) for _ in range(N_SESSIONS)]
+    total_queries = sum(len(s) for s in sessions)
+    print(f"replaying {N_SESSIONS} user sessions ({total_queries} queries)\n")
+
+    policies = {
+        "LRU": LRU,
+        "LRU-2": lambda: LRUK(k=2),
+        "A (spatial)": lambda: SpatialPolicy("A"),
+        "ASB": ASB,
+    }
+    print(f"{'policy':<12} {'page reads':>10} {'hit ratio':>10}")
+    for name, factory in policies.items():
+        buffer = BufferManager(tree.pagefile.disk, BUFFER_PAGES, factory())
+        for session in sessions:
+            for query in session:
+                # Each query is one correlated access burst.
+                with buffer.query_scope():
+                    query.run(tree, buffer)
+        print(
+            f"{name:<12} {buffer.stats.misses:>10} "
+            f"{buffer.stats.hit_ratio:>10.1%}"
+        )
+
+    # Show the result of the last session's first query in detail.
+    first = sessions[-1][0]
+    buffer = BufferManager(tree.pagefile.disk, BUFFER_PAGES, ASB())
+    with buffer.query_scope():
+        found = first.run(tree, buffer)
+    print(
+        f"\nsample query at {first.region.center.as_rect().as_tuple()[:2]}: "
+        f"{len(found)} features, {buffer.stats.misses} page reads cold"
+    )
+
+
+if __name__ == "__main__":
+    main()

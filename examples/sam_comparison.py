@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""One buffer policy, five spatial access methods.
+
+Section 2.3 of the paper defines the spatial replacement criteria for
+generic page entries — R-tree rectangles, quadtree cells, or z-values in a
+B-tree.  This example runs the same window-query workload over all five
+index structures the library ships (R*-tree, Guttman R-tree, bucket
+quadtree, z-order B+-tree, grid file), each behind an ASB buffer, and compares
+structure sizes and I/O behaviour.
+
+Run:  python examples/sam_comparison.py
+"""
+
+from repro import ASB, BufferManager, GridFile, Quadtree, RStarTree, RTree, ZBTree
+from repro.datasets.synthetic import us_mainland_like
+from repro.workloads.distributions import uniform_queries
+
+N_OBJECTS = 15_000
+N_QUERIES = 120
+BUFFER_PAGES = 48
+
+
+def main() -> None:
+    dataset = us_mainland_like(n_objects=N_OBJECTS, seed=31)
+    items = dataset.items()
+    queries = uniform_queries(dataset.space, N_QUERIES, ex=100, seed=32)
+
+    print(f"building four indexes over {len(dataset)} objects ...")
+    rstar = RStarTree(max_dir_entries=24, max_data_entries=24)
+    rstar.bulk_load(items)
+    guttman = RTree(max_dir_entries=24, max_data_entries=24, split="quadratic")
+    guttman.bulk_load(items)
+    quadtree = Quadtree(dataset.space, capacity=24)
+    for rect, payload in items:
+        quadtree.insert(rect, payload)
+    zbtree = ZBTree(dataset.space, max_entries=24)
+    zbtree.bulk_load(items)
+    gridfile = GridFile(dataset.space, bucket_capacity=24, max_splits=30)
+    for rect, payload in items:
+        gridfile.insert(rect, payload)
+
+    indexes = {
+        "R*-tree": rstar,
+        "R-tree": guttman,
+        "Quadtree": quadtree,
+        "z-B+-tree": zbtree,
+        "Grid file": gridfile,
+    }
+
+    print(
+        f"\n{'index':<10} {'pages':>7} {'dir%':>6} {'height':>7} "
+        f"{'page reads':>11} {'hit ratio':>10} {'results':>8}"
+    )
+    for name, index in indexes.items():
+        stats = index.stats()
+        buffer = BufferManager(index.pagefile.disk, BUFFER_PAGES, ASB())
+        results = 0
+        for query in queries:
+            with buffer.query_scope():
+                # De-duplicate: the quadtree may report an object per
+                # quadrant; set() makes counts comparable.
+                results += len(set(query.run(index, buffer)))
+        print(
+            f"{name:<10} {stats.page_count:>7} "
+            f"{stats.directory_fraction:>6.1%} {stats.height:>7} "
+            f"{buffer.stats.misses:>11} {buffer.stats.hit_ratio:>10.1%} "
+            f"{results:>8}"
+        )
+
+    print(
+        "\nAll five indexes answer the same queries; the z-B+-tree may miss "
+        "extended objects\nwhose centre cell lies outside the query window "
+        "(single-z-value indexing),\nwhich is the classic precision trade-off "
+        "of curve-based spatial indexing."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""repro — spatial-database buffer management.
+
+A faithful, self-contained reproduction of
+
+    Thomas Brinkhoff: "A Robust and Self-Tuning Page-Replacement Strategy
+    for Spatial Database Systems", EDBT 2002, LNCS 2287, pp. 533-552.
+
+The library provides the full stack the paper's experiments need: geometry,
+a page/disk storage substrate with access accounting, spatial access
+methods (R*-tree, R-tree, quadtree, z-order B+-tree), a buffer manager with
+the complete policy zoo (LRU, FIFO, CLOCK, LFU, MRU, LRU-T, LRU-P, LRU-K,
+the spatial criteria A/EA/M/EM/EO, SLRU, and the self-tuning ASB), synthetic
+datasets and query workloads mirroring the paper's distributions, and an
+experiment harness that regenerates every figure of the evaluation.
+
+Quickstart::
+
+    from repro import (
+        BufferManager, RStarTree, ASB, us_mainland_like, Rect,
+    )
+
+    dataset = us_mainland_like(n_objects=20_000, seed=7)
+    tree = RStarTree()
+    tree.bulk_load(dataset.items())
+
+    buffer = BufferManager(tree.pagefile.disk, capacity=200, policy=ASB())
+    with buffer.query_scope():
+        hits = tree.window_query(Rect(0.4, 0.4, 0.45, 0.45), accessor=buffer)
+    print(len(hits), buffer.stats.snapshot())
+"""
+
+from repro.buffer.manager import BufferFullError, BufferManager
+from repro.buffer.policies import (
+    ARC,
+    ASB,
+    FIFO,
+    LFU,
+    LRU,
+    LRUK,
+    LRUP,
+    LRUT,
+    MRU,
+    SLRU,
+    Clock,
+    DomainSeparation,
+    GClock,
+    RandomPolicy,
+    SpatialPolicy,
+    TwoQ,
+)
+from repro.datasets.synthetic import Dataset, us_mainland_like, world_atlas_like
+from repro.geometry.rect import Point, Rect
+from repro.sam.gridfile import GridFile
+from repro.sam.quadtree import Quadtree
+from repro.sam.rstar import RStarTree
+from repro.sam.rtree import RTree
+from repro.sam.zbtree import ZBTree
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import Page, PageEntry, PageType
+from repro.storage.pagefile import PageFile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # geometry
+    "Point",
+    "Rect",
+    # storage
+    "SimulatedDisk",
+    "PageFile",
+    "Page",
+    "PageEntry",
+    "PageType",
+    # buffer
+    "BufferManager",
+    "BufferFullError",
+    # policies
+    "LRU",
+    "FIFO",
+    "Clock",
+    "LFU",
+    "MRU",
+    "RandomPolicy",
+    "LRUT",
+    "LRUP",
+    "LRUK",
+    "SpatialPolicy",
+    "SLRU",
+    "ASB",
+    "TwoQ",
+    "ARC",
+    "GClock",
+    "DomainSeparation",
+    # spatial access methods
+    "RStarTree",
+    "RTree",
+    "Quadtree",
+    "ZBTree",
+    "GridFile",
+    # datasets
+    "Dataset",
+    "us_mainland_like",
+    "world_atlas_like",
+]

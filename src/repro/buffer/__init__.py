@@ -1,0 +1,14 @@
+"""Buffer management: the system under study.
+
+The buffer manager caches disk pages in a bounded set of frames and asks a
+pluggable :class:`~repro.buffer.policies.base.ReplacementPolicy` which page
+to drop when a new page must be loaded (Section 1 of the paper).  Everything
+the paper measures — hits, misses, disk accesses per query set — is recorded
+by :class:`~repro.buffer.stats.BufferStats`.
+"""
+
+from repro.buffer.frames import Frame
+from repro.buffer.manager import BufferFullError, BufferManager
+from repro.buffer.stats import BufferStats
+
+__all__ = ["BufferFullError", "BufferManager", "BufferStats", "Frame"]

@@ -1,0 +1,49 @@
+"""Buffer frames: a resident page plus the bookkeeping policies need.
+
+A frame records logical timestamps (the buffer's access counter, never wall
+clock — experiments must be deterministic), the id of the query that last
+touched the page (for LRU-K's correlated-access rule), a pin count, a dirty
+flag, and a small cache for the spatial criteria, which are pure functions
+of the page content and therefore computed at most once per load (the paper
+notes that area and margin cause "only a small overhead" when a page is
+loaded; caching keeps EO affordable too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.storage.page import Page, PageId
+
+
+@dataclass(slots=True)
+class Frame:
+    """One buffer slot holding a resident page."""
+
+    page: Page
+    loaded_at: int
+    last_access: int
+    last_query: int
+    access_count: int = 1
+    pin_count: int = 0
+    dirty: bool = False
+    #: Cache for spatial criteria, keyed by criterion name ("A", "EA", ...).
+    crit_cache: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def page_id(self) -> PageId:
+        return self.page.page_id
+
+    @property
+    def pinned(self) -> bool:
+        return self.pin_count > 0
+
+    def touch(self, clock: int, query_id: int) -> None:
+        """Record an access at logical time ``clock`` by query ``query_id``."""
+        self.last_access = clock
+        self.last_query = query_id
+        self.access_count += 1
+
+    def invalidate_criteria(self) -> None:
+        """Drop cached spatial criteria after the page content changed."""
+        self.crit_cache.clear()

@@ -1,0 +1,242 @@
+"""The buffer manager.
+
+A :class:`BufferManager` owns a fixed number of frames, serves page
+requests, and delegates the victim decision to a replacement policy.  The
+division of labour follows the paper:
+
+* the manager implements everything policy-independent — hit/miss
+  accounting, the logical clock, query correlation scopes, pinning,
+  dirty-page write-back, and clearing the buffer between query sets
+  (Section 3: "Before performing a new set of queries, the buffer was
+  cleared in order to increase the comparability of the results");
+* the policy implements only the replacement decision (Section 2), via the
+  hooks defined in :mod:`repro.buffer.policies.base`.
+
+All timestamps are logical (one tick per page request); no wall clock is
+involved anywhere, so runs are deterministic and replayable.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+from repro.buffer.frames import Frame
+from repro.buffer.stats import BufferStats
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import Page, PageId
+
+if TYPE_CHECKING:
+    from repro.buffer.policies.base import ReplacementPolicy
+
+
+class BufferFullError(RuntimeError):
+    """Raised when every frame is pinned and a new page must be loaded."""
+
+
+class BufferManager:
+    """Caches pages of a :class:`SimulatedDisk` in ``capacity`` frames."""
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        capacity: int,
+        policy: "ReplacementPolicy",
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("buffer capacity must be at least 1")
+        self.disk = disk
+        self.capacity = capacity
+        self.policy = policy
+        self.frames: dict[PageId, Frame] = {}
+        self.stats = BufferStats()
+        self._clock = 0
+        self._query_id = 0
+        self._in_query = False
+        policy.attach(self)
+
+    # ------------------------------------------------------------------
+    # Logical time and query correlation
+    # ------------------------------------------------------------------
+
+    @property
+    def clock(self) -> int:
+        """The logical access counter (one tick per request)."""
+        return self._clock
+
+    @property
+    def current_query(self) -> int:
+        """Id of the running query; accesses sharing it are correlated."""
+        return self._query_id
+
+    @contextmanager
+    def query_scope(self) -> Iterator[int]:
+        """Bracket one query: all requests inside are correlated.
+
+        The paper (Section 2.2) treats two page accesses as correlated if
+        they belong to the same query; LRU-K folds correlated re-references
+        into a single history entry.
+        """
+        self._query_id += 1
+        self._in_query = True
+        self.stats.queries += 1
+        try:
+            yield self._query_id
+        finally:
+            self._in_query = False
+
+    # ------------------------------------------------------------------
+    # Page requests
+    # ------------------------------------------------------------------
+
+    def fetch(self, page_id: PageId) -> Page:
+        """Request a page; serve it from a frame or load it from disk."""
+        self._clock += 1
+        self.stats.requests += 1
+        if not self._in_query:
+            # Requests outside any query scope get a fresh query id each, so
+            # they are never correlated with one another.
+            self._query_id += 1
+        frame = self.frames.get(page_id)
+        if frame is not None:
+            self.stats.hits += 1
+            correlated = frame.last_query == self._query_id
+            # The policy hook runs before the timestamp renewal so policies
+            # can still see the page's recency as of *before* this access
+            # (ASB's LRU-criterion comparison relies on that).
+            self.policy.on_hit(frame, correlated)
+            frame.touch(self._clock, self._query_id)
+            return frame.page
+        self.stats.misses += 1
+        page = self.disk.read(page_id)
+        frame = self._admit(page)
+        return frame.page
+
+    def _admit(self, page: Page) -> Frame:
+        """Place a freshly read page into a frame, evicting if needed."""
+        if len(self.frames) >= self.capacity:
+            self._evict_one()
+        frame = Frame(
+            page=page,
+            loaded_at=self._clock,
+            last_access=self._clock,
+            last_query=self._query_id,
+        )
+        self.frames[page.page_id] = frame
+        self.policy.on_load(frame)
+        return frame
+
+    def _evict_one(self) -> None:
+        """Ask the policy for a victim and drop it (writing back if dirty)."""
+        victim_id = self.policy.select_victim()
+        frame = self.frames.get(victim_id)
+        if frame is None:
+            raise RuntimeError(
+                f"policy selected page {victim_id}, which is not resident"
+            )
+        if frame.pinned:
+            raise RuntimeError(f"policy selected pinned page {victim_id}")
+        self._drop(frame)
+
+    def _drop(self, frame: Frame) -> None:
+        if frame.dirty:
+            self.disk.write(frame.page)
+            self.stats.writebacks += 1
+        del self.frames[frame.page_id]
+        self.stats.evictions += 1
+        self.policy.on_evict(frame)
+
+    def install(self, page: Page) -> None:
+        """Place a newly allocated page into a frame without a disk read.
+
+        Freshly created pages (index node splits during buffered updates)
+        are born in the buffer in a real system — charging a read for them
+        would be wrong.  The page enters dirty: it has never been written.
+        If the id is already resident (an id reused after :meth:`discard`),
+        the frame is replaced.
+        """
+        self._clock += 1
+        existing = self.frames.get(page.page_id)
+        if existing is not None:
+            self.discard(page.page_id)
+        frame = self._admit(page)
+        frame.dirty = True
+
+    def discard(self, page_id: PageId) -> None:
+        """Drop a resident page without writing it back.
+
+        Used when a page is *deallocated* (its content is dead, write-back
+        would be wasted I/O — and a stale frame under a reused id would
+        corrupt the view).  A no-op for non-resident pages.
+        """
+        frame = self.frames.get(page_id)
+        if frame is None:
+            return
+        if frame.pinned:
+            raise RuntimeError(f"cannot discard pinned page {page_id}")
+        del self.frames[page_id]
+        self.policy.on_evict(frame)
+
+    # ------------------------------------------------------------------
+    # Pinning and dirtying
+    # ------------------------------------------------------------------
+
+    def pin(self, page_id: PageId) -> None:
+        """Protect a resident page from eviction (e.g. R-tree root pinning)."""
+        self._frame_or_raise(page_id).pin_count += 1
+
+    def unpin(self, page_id: PageId) -> None:
+        frame = self._frame_or_raise(page_id)
+        if frame.pin_count == 0:
+            raise ValueError(f"page {page_id} is not pinned")
+        frame.pin_count -= 1
+
+    def mark_dirty(self, page_id: PageId) -> None:
+        """Flag a resident page as modified; it is written back on eviction."""
+        frame = self._frame_or_raise(page_id)
+        frame.dirty = True
+        frame.invalidate_criteria()
+
+    def _frame_or_raise(self, page_id: PageId) -> Frame:
+        frame = self.frames.get(page_id)
+        if frame is None:
+            raise KeyError(f"page {page_id} is not resident")
+        return frame
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Write all dirty frames back to disk without evicting them."""
+        for frame in self.frames.values():
+            if frame.dirty:
+                self.disk.write(frame.page)
+                self.stats.writebacks += 1
+                frame.dirty = False
+
+    def clear(self) -> None:
+        """Empty the buffer (flushing dirty pages) and reset the policy.
+
+        Statistics are reset too: the paper clears the buffer before every
+        query set so that sets can be compared in isolation.
+        """
+        self.flush()
+        for frame in list(self.frames.values()):
+            self.policy.on_evict(frame)
+        self.frames.clear()
+        self.policy.reset()
+        self.stats.reset()
+
+    def contains(self, page_id: PageId) -> bool:
+        return page_id in self.frames
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def resident_ids(self) -> list[PageId]:
+        return sorted(self.frames)
+
+    def evictable_frames(self) -> list[Frame]:
+        """All unpinned frames — the victim universe offered to policies."""
+        return [frame for frame in self.frames.values() if not frame.pinned]

@@ -1,0 +1,62 @@
+"""Page-replacement policies.
+
+The policy zoo follows the paper's taxonomy:
+
+* classic baselines — :class:`LRU`, plus :class:`FIFO`, :class:`Clock`,
+  :class:`GClock`, :class:`LFU`, :class:`MRU` and :class:`RandomPolicy`
+  for wider baselining;
+* literature competitors beyond the paper — :class:`TwoQ` (Johnson/Shasha
+  1994), :class:`ARC` (Megiddo/Modha 2003) and :class:`DomainSeparation`
+  (per-category LRU pools);
+* structural LRU variants (Section 2.1) — :class:`LRUT` (type-based) and
+  :class:`LRUP` (priority/level-based);
+* history-based (Section 2.2) — :class:`LRUK`;
+* spatial (Section 2.3) — :class:`SpatialPolicy` with criteria A, EA, M,
+  EM, EO;
+* combined (Section 4.1) — :class:`SLRU` with a static candidate set;
+* self-tuning (Section 4.2) — :class:`ASB`, the adaptable spatial buffer.
+"""
+
+from repro.buffer.policies.arc import ARC
+from repro.buffer.policies.asb import ASB
+from repro.buffer.policies.base import ReplacementPolicy
+from repro.buffer.policies.clock import Clock
+from repro.buffer.policies.domain_separation import DomainSeparation
+from repro.buffer.policies.fifo import FIFO
+from repro.buffer.policies.gclock import GClock
+from repro.buffer.policies.lfu import LFU
+from repro.buffer.policies.lru import LRU
+from repro.buffer.policies.lru_k import LRUK
+from repro.buffer.policies.lru_p import LRUP
+from repro.buffer.policies.lru_t import LRUT
+from repro.buffer.policies.mru import MRU
+from repro.buffer.policies.random_policy import RandomPolicy
+from repro.buffer.policies.slru import SLRU
+from repro.buffer.policies.spatial import (
+    SPATIAL_CRITERIA,
+    SpatialPolicy,
+    spatial_criterion,
+)
+from repro.buffer.policies.two_q import TwoQ
+
+__all__ = [
+    "ReplacementPolicy",
+    "LRU",
+    "ARC",
+    "TwoQ",
+    "GClock",
+    "DomainSeparation",
+    "FIFO",
+    "Clock",
+    "LFU",
+    "MRU",
+    "RandomPolicy",
+    "LRUT",
+    "LRUP",
+    "LRUK",
+    "SpatialPolicy",
+    "SLRU",
+    "ASB",
+    "SPATIAL_CRITERIA",
+    "spatial_criterion",
+]

@@ -1,0 +1,140 @@
+"""ARC — adaptive replacement cache (Megiddo & Modha, FAST 2003).
+
+The canonical *self-tuning* buffer of the systems literature, included as
+a modern comparison point for the paper's ASB: both adapt a single knob
+online from feedback about their own mispredictions — ARC balances recency
+against frequency via ghost-list hits, ASB balances recency against the
+spatial criterion via overflow-buffer hits.
+
+Structure (c = capacity):
+
+* **T1** — resident pages seen exactly once recently (recency list);
+* **T2** — resident pages seen at least twice (frequency list);
+* **B1 / B2** — ghost ids of pages recently evicted from T1 / T2;
+* **p** — the target size of T1, adapted on every ghost hit: a B1 hit
+  means T1 was too small (grow p), a B2 hit means T2 was too small
+  (shrink p).
+
+|T1| + |T2| <= c and |T1| + |B1| <= c, |T1|+|T2|+|B1|+|B2| <= 2c.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.buffer.frames import Frame
+from repro.buffer.manager import BufferFullError, BufferManager
+from repro.buffer.policies.base import ReplacementPolicy
+from repro.storage.page import PageId
+
+
+class ARC(ReplacementPolicy):
+    """Adaptive replacement cache."""
+
+    name = "ARC"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._t1: OrderedDict[PageId, None] = OrderedDict()  # LRU order
+        self._t2: OrderedDict[PageId, None] = OrderedDict()
+        self._b1: OrderedDict[PageId, None] = OrderedDict()
+        self._b2: OrderedDict[PageId, None] = OrderedDict()
+        self._p = 0.0  # target size of T1
+
+    def attach(self, buffer: BufferManager) -> None:
+        super().attach(buffer)
+        self._p = 0.0
+
+    # ------------------------------------------------------------------
+    # Event hooks
+    # ------------------------------------------------------------------
+
+    def on_load(self, frame: Frame) -> None:
+        page_id = frame.page_id
+        capacity = self.buffer.capacity
+        if page_id in self._b1:
+            # Ghost hit in B1: recency was undervalued; grow T1's target.
+            delta = max(1.0, len(self._b2) / max(1, len(self._b1)))
+            self._p = min(float(capacity), self._p + delta)
+            del self._b1[page_id]
+            self._t2[page_id] = None
+        elif page_id in self._b2:
+            # Ghost hit in B2: frequency was undervalued; shrink T1's target.
+            delta = max(1.0, len(self._b1) / max(1, len(self._b2)))
+            self._p = max(0.0, self._p - delta)
+            del self._b2[page_id]
+            self._t2[page_id] = None
+        else:
+            # A genuinely new page enters the recency list.
+            self._t1[page_id] = None
+            # Bound the total directory to 2c ids (case IV of the paper).
+            while len(self._t1) + len(self._b1) > capacity and self._b1:
+                self._b1.popitem(last=False)
+            total = (
+                len(self._t1) + len(self._t2) + len(self._b1) + len(self._b2)
+            )
+            while total > 2 * capacity and self._b2:
+                self._b2.popitem(last=False)
+                total -= 1
+
+    def on_hit(self, frame: Frame, correlated: bool) -> None:
+        page_id = frame.page_id
+        if page_id in self._t1:
+            # Second reference promotes to the frequency list.
+            del self._t1[page_id]
+            self._t2[page_id] = None
+        elif page_id in self._t2:
+            self._t2.move_to_end(page_id)
+
+    def on_evict(self, frame: Frame) -> None:
+        page_id = frame.page_id
+        if page_id in self._t1:
+            del self._t1[page_id]
+            self._b1[page_id] = None
+        elif page_id in self._t2:
+            del self._t2[page_id]
+            self._b2[page_id] = None
+
+    def reset(self) -> None:
+        self._t1.clear()
+        self._t2.clear()
+        self._b1.clear()
+        self._b2.clear()
+        self._p = 0.0
+
+    # ------------------------------------------------------------------
+    # Victim selection (REPLACE of the original paper)
+    # ------------------------------------------------------------------
+
+    def select_victim(self) -> PageId:
+        frames = self.buffer.frames
+
+        def first_unpinned(queue: OrderedDict[PageId, None]) -> PageId | None:
+            for page_id in queue:
+                if not frames[page_id].pinned:
+                    return page_id
+            return None
+
+        prefer_t1 = len(self._t1) > 0 and (
+            len(self._t1) > self._p
+            or (len(self._t2) == 0)
+        )
+        order = (self._t1, self._t2) if prefer_t1 else (self._t2, self._t1)
+        for queue in order:
+            victim = first_unpinned(queue)
+            if victim is not None:
+                return victim
+        raise BufferFullError("all resident pages are pinned")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def target_t1(self) -> float:
+        """The adaptive knob p (target share of the recency list)."""
+        return self._p
+
+    @property
+    def ghost_size(self) -> int:
+        return len(self._b1) + len(self._b2)

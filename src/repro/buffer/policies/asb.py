@@ -1,0 +1,236 @@
+"""ASB — the adaptable spatial buffer (Section 4.2, the paper's contribution).
+
+The buffer is split into two parts:
+
+* a **main part** managed by the SLRU combination: when a page must leave
+  the main part, the ``candidate_size`` least-recently-used main pages form
+  the candidate set and the one with the smallest spatial criterion is
+  chosen (Section 4.1);
+* an **overflow buffer** (by default 20 % of the whole buffer) that receives
+  the pages dropped from the main part and is itself managed first-in
+  first-out.  The FIFO head of the overflow buffer is the page that really
+  leaves memory.
+
+The overflow buffer doubles as the *feedback sensor* for self-tuning.  When
+a requested page ``p`` is found in the overflow buffer, it is promoted back
+to the main part, and the policy compares how the two ranking criteria judge
+the pages still sitting in the overflow buffer:
+
+1. more overflow pages have a **better spatial criterion** than ``p`` than
+   have a better LRU criterion → the spatial ranking would have kept the
+   wrong pages; LRU looks more suitable → the candidate set **shrinks**;
+2. fewer → the spatial ranking looks more suitable → the candidate set
+   **grows**;
+3. equal → no change.
+
+"Better" means *would have stayed in the buffer longer*: a larger spatial
+criterion, respectively a more recent last access.  The size changes in
+steps of 1 % of the main part (paper Section 4.3) and is clamped to
+``[1, main_capacity]``.  Initial size: 25 % of the main part.
+
+The overflow buffer is carved out of the given capacity, so ASB never uses
+more memory than the policies it is compared against, and — unlike LRU-K —
+it keeps no state about pages that left the buffer.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.buffer.frames import Frame
+from repro.buffer.manager import BufferFullError, BufferManager
+from repro.buffer.policies.base import ReplacementPolicy
+from repro.buffer.policies.spatial import SPATIAL_CRITERIA, spatial_criterion
+from repro.storage.page import PageId
+
+
+class ASB(ReplacementPolicy):
+    """Self-tuning combination of LRU and a spatial replacement criterion."""
+
+    def __init__(
+        self,
+        criterion: str = "A",
+        overflow_fraction: float = 0.2,
+        initial_fraction: float = 0.25,
+        step_fraction: float = 0.01,
+        record_trace: bool = False,
+    ) -> None:
+        super().__init__()
+        if criterion not in SPATIAL_CRITERIA:
+            raise ValueError(f"unknown spatial criterion {criterion!r}")
+        if not 0.0 <= overflow_fraction < 1.0:
+            raise ValueError("overflow fraction must be in [0, 1)")
+        if not 0.0 < initial_fraction <= 1.0:
+            raise ValueError("initial candidate fraction must be in (0, 1]")
+        if not 0.0 < step_fraction <= 1.0:
+            raise ValueError("step fraction must be in (0, 1]")
+        self.criterion = criterion
+        self.overflow_fraction = overflow_fraction
+        self.initial_fraction = initial_fraction
+        self.step_fraction = step_fraction
+        self.record_trace = record_trace
+        self.name = "ASB"
+        # Page-id membership of the two buffer parts.  The overflow dict is
+        # ordered oldest-first, i.e. FIFO order.
+        self._main: set[PageId] = set()
+        self._overflow: OrderedDict[PageId, None] = OrderedDict()
+        self._candidate_size = 1
+        self._step = 1
+        self.main_capacity = 0
+        self.overflow_capacity = 0
+        #: Optional (clock, candidate_size) samples, one per adaptation.
+        self.trace: list[tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    # Wiring — capacities depend on the buffer size
+    # ------------------------------------------------------------------
+
+    def attach(self, buffer: BufferManager) -> None:
+        super().attach(buffer)
+        self.overflow_capacity = int(round(self.overflow_fraction * buffer.capacity))
+        if self.overflow_capacity >= buffer.capacity:
+            self.overflow_capacity = buffer.capacity - 1
+        self.main_capacity = buffer.capacity - self.overflow_capacity
+        self._step = max(1, round(self.step_fraction * self.main_capacity))
+        self._candidate_size = self._initial_candidate_size()
+
+    def _initial_candidate_size(self) -> int:
+        return min(
+            self.main_capacity,
+            max(1, round(self.initial_fraction * self.main_capacity)),
+        )
+
+    @property
+    def candidate_size(self) -> int:
+        """Current size of the LRU candidate set (the self-tuned knob)."""
+        return self._candidate_size
+
+    # ------------------------------------------------------------------
+    # Event hooks
+    # ------------------------------------------------------------------
+
+    def on_load(self, frame: Frame) -> None:
+        """A new page enters the main part, demoting a main page if full."""
+        if len(self._main) >= self.main_capacity:
+            self._demote_main_victim()
+        self._main.add(frame.page_id)
+
+    def on_hit(self, frame: Frame, correlated: bool) -> None:
+        """Promote overflow hits back to the main part, adapting the knob.
+
+        This hook runs *before* the manager renews the frame's access
+        timestamp, so ``frame.last_access`` still reflects the page's
+        recency while it sat in the overflow buffer — which is what the
+        LRU-criterion comparison needs.
+        """
+        if frame.page_id not in self._overflow:
+            return
+        self._adapt(frame)
+        del self._overflow[frame.page_id]
+        if len(self._main) >= self.main_capacity:
+            self._demote_main_victim()
+        self._main.add(frame.page_id)
+
+    def on_evict(self, frame: Frame) -> None:
+        self._main.discard(frame.page_id)
+        self._overflow.pop(frame.page_id, None)
+
+    def reset(self) -> None:
+        self._main.clear()
+        self._overflow.clear()
+        self._candidate_size = self._initial_candidate_size()
+        self.trace.clear()
+
+    # ------------------------------------------------------------------
+    # The self-tuning step
+    # ------------------------------------------------------------------
+
+    def _adapt(self, promoted: Frame) -> None:
+        """Compare the two criteria on the overflow pages (Section 4.2)."""
+        frames = self.buffer.frames
+        crit_p = spatial_criterion(promoted, self.criterion)
+        recency_p = promoted.last_access
+        better_spatial = 0
+        better_lru = 0
+        for page_id in self._overflow:
+            if page_id == promoted.page_id:
+                continue
+            other = frames[page_id]
+            if spatial_criterion(other, self.criterion) > crit_p:
+                better_spatial += 1
+            if other.last_access > recency_p:
+                better_lru += 1
+        if better_spatial > better_lru:
+            # The spatial ranking kept the wrong pages: lean towards LRU.
+            self._candidate_size = max(1, self._candidate_size - self._step)
+        elif better_spatial < better_lru:
+            # The LRU ranking kept the wrong pages: lean towards spatial.
+            self._candidate_size = min(
+                self.main_capacity, self._candidate_size + self._step
+            )
+        if self.record_trace:
+            self.trace.append((self.buffer.clock, self._candidate_size))
+
+    # ------------------------------------------------------------------
+    # Victim selection
+    # ------------------------------------------------------------------
+
+    def _main_frames(self) -> list[Frame]:
+        frames = self.buffer.frames
+        return [
+            frames[page_id]
+            for page_id in self._main
+            if not frames[page_id].pinned
+        ]
+
+    def _demote_main_victim(self) -> None:
+        """Move the SLRU victim of the main part into the overflow buffer."""
+        candidates = self._main_frames()
+        if not candidates:
+            # Every main page is pinned; let the main part exceed its
+            # nominal share rather than evicting a pinned page.
+            return
+        candidates.sort(key=lambda frame: frame.last_access)
+        del candidates[self._candidate_size :]
+        victim = min(
+            candidates, key=lambda frame: spatial_criterion(frame, self.criterion)
+        )
+        self._main.discard(victim.page_id)
+        self._overflow[victim.page_id] = None
+
+    def select_victim(self) -> PageId:
+        """The FIFO head of the overflow buffer leaves memory.
+
+        With an empty overflow buffer (``overflow_fraction == 0`` or a
+        buffer too small to have one) the policy degenerates to SLRU on the
+        main part.
+        """
+        frames = self.buffer.frames
+        for page_id in self._overflow:
+            if not frames[page_id].pinned:
+                return page_id
+        candidates = self._main_frames()
+        if not candidates:
+            raise BufferFullError("all resident pages are pinned")
+        candidates.sort(key=lambda frame: frame.last_access)
+        del candidates[self._candidate_size :]
+        victim = min(
+            candidates, key=lambda frame: spatial_criterion(frame, self.criterion)
+        )
+        return victim.page_id
+
+    # ------------------------------------------------------------------
+    # Introspection (reports, tests, Fig. 14)
+    # ------------------------------------------------------------------
+
+    @property
+    def main_size(self) -> int:
+        return len(self._main)
+
+    @property
+    def overflow_size(self) -> int:
+        return len(self._overflow)
+
+    def overflow_ids(self) -> list[PageId]:
+        """Overflow page ids in FIFO order (oldest first)."""
+        return list(self._overflow)

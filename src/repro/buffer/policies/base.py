@@ -1,0 +1,97 @@
+"""The replacement-policy interface.
+
+A policy sees three events — a page was loaded, a resident page was hit, a
+frame left the buffer — and answers one question: which resident, unpinned
+page should be dropped to make room (:meth:`ReplacementPolicy.select_victim`).
+
+Policies read frame metadata (timestamps, page type/level, entry MBRs)
+through the frames the manager exposes; they never touch the disk.  A policy
+instance belongs to exactly one buffer manager.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from repro.buffer.frames import Frame
+from repro.storage.page import PageId
+
+if TYPE_CHECKING:
+    from repro.buffer.manager import BufferManager
+
+
+class ReplacementPolicy(abc.ABC):
+    """Base class for all page-replacement strategies."""
+
+    #: Short display name used in experiment reports ("LRU", "A", "ASB", ...).
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self._buffer: "BufferManager | None" = None
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def attach(self, buffer: "BufferManager") -> None:
+        """Bind the policy to its buffer manager (called once)."""
+        if self._buffer is not None and self._buffer is not buffer:
+            raise RuntimeError("policy is already attached to another buffer")
+        self._buffer = buffer
+
+    @property
+    def buffer(self) -> "BufferManager":
+        if self._buffer is None:
+            raise RuntimeError("policy is not attached to a buffer manager")
+        return self._buffer
+
+    # ------------------------------------------------------------------
+    # Event hooks — default implementations do nothing
+    # ------------------------------------------------------------------
+
+    def on_load(self, frame: Frame) -> None:
+        """A page was read from disk into ``frame``."""
+
+    def on_hit(self, frame: Frame, correlated: bool) -> None:
+        """A resident page was requested again.
+
+        ``correlated`` is true when this access belongs to the same query as
+        the previous access to the page (the paper's correlation notion,
+        Section 2.2).  Only LRU-K distinguishes the two cases.
+        """
+
+    def on_evict(self, frame: Frame) -> None:
+        """``frame`` left the buffer (eviction or clear)."""
+
+    def reset(self) -> None:
+        """Drop all internal state (buffer was cleared)."""
+
+    # ------------------------------------------------------------------
+    # The decision
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def select_victim(self) -> PageId:
+        """Return the resident, unpinned page to drop.
+
+        Raises :class:`~repro.buffer.manager.BufferFullError` when no frame
+        is evictable.
+        """
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+
+    def _evictable(self) -> list[Frame]:
+        from repro.buffer.manager import BufferFullError
+
+        frames = self.buffer.evictable_frames()
+        if not frames:
+            raise BufferFullError("all resident pages are pinned")
+        return frames
+
+    @staticmethod
+    def lru_victim(frames: list[Frame]) -> Frame:
+        """The least-recently-used frame of a non-empty list."""
+        return min(frames, key=lambda frame: frame.last_access)

@@ -1,0 +1,86 @@
+"""Domain separation: one LRU pool per page category.
+
+The classic alternative to a global policy (Reiter's domain separation,
+discussed in the buffer-management studies the paper cites, e.g. Chou &
+DeWitt's evaluation and Ng/Faloutsos/Sellis' allocation work): the buffer
+is statically partitioned into *domains* — here the three page categories
+of Section 2.1 (directory / data / object) — and each domain runs its own
+LRU.  A page never competes with pages of another category.
+
+The static shares are the knob the paper's self-tuning philosophy argues
+against: good shares depend on the workload, and nothing adapts them.  The
+default gives directories a protected slice (they are few and hot), the
+bulk to data pages, and a small slice to object pages.
+
+A domain at its share evicts internally; domains may borrow free frames
+from the common pool while the buffer is not full.
+"""
+
+from __future__ import annotations
+
+from repro.buffer.frames import Frame
+from repro.buffer.manager import BufferFullError, BufferManager
+from repro.buffer.policies.base import ReplacementPolicy
+from repro.storage.page import PageId, PageType
+
+#: Default buffer shares per page category.
+DEFAULT_SHARES: dict[PageType, float] = {
+    PageType.DIRECTORY: 0.3,
+    PageType.DATA: 0.6,
+    PageType.OBJECT: 0.1,
+}
+
+
+class DomainSeparation(ReplacementPolicy):
+    """Per-category LRU pools with static shares."""
+
+    name = "DOMAIN"
+
+    def __init__(self, shares: dict[PageType, float] | None = None) -> None:
+        super().__init__()
+        shares = dict(shares) if shares is not None else dict(DEFAULT_SHARES)
+        if any(value < 0 for value in shares.values()):
+            raise ValueError("shares must be non-negative")
+        total = sum(shares.values())
+        if total <= 0:
+            raise ValueError("at least one share must be positive")
+        self._shares = {key: value / total for key, value in shares.items()}
+        self._quota: dict[PageType, int] = {}
+
+    def attach(self, buffer: BufferManager) -> None:
+        super().attach(buffer)
+        capacity = buffer.capacity
+        self._quota = {
+            page_type: max(1, round(share * capacity))
+            for page_type, share in self._shares.items()
+        }
+
+    def _domain_frames(self) -> dict[PageType, list[Frame]]:
+        domains: dict[PageType, list[Frame]] = {t: [] for t in PageType}
+        for frame in self.buffer.frames.values():
+            domains[frame.page.page_type].append(frame)
+        return domains
+
+    def select_victim(self) -> PageId:
+        domains = self._domain_frames()
+        # First choice: the domain most over its quota evicts its own LRU
+        # victim; this keeps the partition near the configured shares.
+        overage = []
+        for page_type, frames in domains.items():
+            quota = self._quota.get(page_type, 1)
+            evictable = [frame for frame in frames if not frame.pinned]
+            if evictable and len(frames) > quota:
+                overage.append((len(frames) - quota, page_type, evictable))
+        if overage:
+            overage.sort(key=lambda item: item[0], reverse=True)
+            _, _, evictable = overage[0]
+            return self.lru_victim(evictable).page_id
+        # No domain over quota (small buffers, skewed type mix): global LRU.
+        evictable = self._evictable()
+        if not evictable:
+            raise BufferFullError("all resident pages are pinned")
+        return self.lru_victim(evictable).page_id
+
+    def quota_of(self, page_type: PageType) -> int:
+        """Configured frame quota of a category (for tests/reports)."""
+        return self._quota[page_type]

@@ -1,0 +1,21 @@
+"""First-in first-out replacement.
+
+Not part of the paper's comparison, but a standard baseline (it is also the
+rule ASB uses *inside* its overflow buffer, Section 4.2) and useful for the
+wider baseline ablation.
+"""
+
+from __future__ import annotations
+
+from repro.buffer.policies.base import ReplacementPolicy
+from repro.storage.page import PageId
+
+
+class FIFO(ReplacementPolicy):
+    """Evict the page that entered the buffer first."""
+
+    name = "FIFO"
+
+    def select_victim(self) -> PageId:
+        frames = self._evictable()
+        return min(frames, key=lambda frame: frame.loaded_at).page_id

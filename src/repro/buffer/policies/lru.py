@@ -1,0 +1,21 @@
+"""Least recently used — the reference policy of all experiments.
+
+Every performance number in the paper is reported relative to LRU
+(``gain = accesses(LRU) / accesses(policy) - 1``), so this implementation is
+deliberately the textbook rule: evict the unpinned page whose last access is
+oldest.
+"""
+
+from __future__ import annotations
+
+from repro.buffer.policies.base import ReplacementPolicy
+from repro.storage.page import PageId
+
+
+class LRU(ReplacementPolicy):
+    """Evict the page that has not been accessed for the longest time."""
+
+    name = "LRU"
+
+    def select_victim(self) -> PageId:
+        return self.lru_victim(self._evictable()).page_id

@@ -1,0 +1,49 @@
+"""Priority-based LRU (LRU-P), Section 2.1 of the paper.
+
+A generalization of LRU-T: each page has a priority, and the page with the
+lowest priority is dropped first (LRU breaks ties).  Following the paper's
+example, the default priority of an index page is its height in the tree —
+object pages get priority -1 (below data pages at level 0), the root the
+highest value.  This generalizes pinning the top levels of an R-tree in the
+buffer (Leutenegger & Lopez): with a small buffer, high levels effectively
+never leave.
+
+A custom priority function can be supplied for other schemes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.buffer.frames import Frame
+from repro.buffer.policies.base import ReplacementPolicy
+from repro.storage.page import Page, PageId, PageType
+
+
+def level_priority(page: Page) -> int:
+    """Default priority: tree level; object pages sit below the tree."""
+    if page.page_type is PageType.OBJECT:
+        return -1
+    return page.level
+
+
+class LRUP(ReplacementPolicy):
+    """Evict the page with the lowest priority; ties fall to LRU."""
+
+    name = "LRU-P"
+
+    def __init__(self, priority: Callable[[Page], int] = level_priority) -> None:
+        super().__init__()
+        self._priority = priority
+
+    def select_victim(self) -> PageId:
+        frames = self._evictable()
+        victim = min(
+            frames,
+            key=lambda frame: (self._priority(frame.page), frame.last_access),
+        )
+        return victim.page_id
+
+    def priority_of(self, frame: Frame) -> int:
+        """Expose the priority of a frame (used by reports and tests)."""
+        return self._priority(frame.page)

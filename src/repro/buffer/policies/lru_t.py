@@ -1,0 +1,26 @@
+"""Type-based LRU (LRU-T), Section 2.1 of the paper.
+
+Pages are ranked by their category: object pages are dropped first, then
+data pages, and directory pages stay in the buffer as long as possible,
+under the assumption that directory pages are requested more often.  Within
+one category the LRU rule decides.
+"""
+
+from __future__ import annotations
+
+from repro.buffer.policies.base import ReplacementPolicy
+from repro.storage.page import PageId
+
+
+class LRUT(ReplacementPolicy):
+    """Evict by page category (object < data < directory), then by LRU."""
+
+    name = "LRU-T"
+
+    def select_victim(self) -> PageId:
+        frames = self._evictable()
+        victim = min(
+            frames,
+            key=lambda frame: (frame.page.page_type.type_rank, frame.last_access),
+        )
+        return victim.page_id

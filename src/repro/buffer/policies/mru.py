@@ -1,0 +1,21 @@
+"""Most recently used replacement.
+
+Evicts the page touched most recently.  MRU is optimal for cyclic scans
+that exceed the buffer size and pathological for most other workloads; it is
+included to give the baseline ablation a known-bad contrast point.
+"""
+
+from __future__ import annotations
+
+from repro.buffer.policies.base import ReplacementPolicy
+from repro.storage.page import PageId
+
+
+class MRU(ReplacementPolicy):
+    """Evict the page that was accessed most recently."""
+
+    name = "MRU"
+
+    def select_victim(self) -> PageId:
+        frames = self._evictable()
+        return max(frames, key=lambda frame: frame.last_access).page_id

@@ -1,0 +1,32 @@
+"""Seeded random replacement.
+
+Evicts a uniformly random unpinned page.  Random replacement is the
+canonical "no information" baseline; the generator is seeded so experiment
+runs stay reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.buffer.policies.base import ReplacementPolicy
+from repro.storage.page import PageId
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Evict a random unpinned page (deterministic under a fixed seed)."""
+
+    name = "RANDOM"
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+    def select_victim(self) -> PageId:
+        frames = self._evictable()
+        frames.sort(key=lambda frame: frame.page_id)
+        return self._rng.choice(frames).page_id

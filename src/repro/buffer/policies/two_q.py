@@ -1,0 +1,129 @@
+"""2Q replacement (Johnson & Shasha, VLDB 1994).
+
+A natural comparison point for ASB: 2Q also splits the buffer into parts
+to fix an LRU weakness, but along the *recency vs. frequency* axis rather
+than the paper's *recency vs. spatial* axis.
+
+The simplified full version implemented here follows the original paper:
+
+* **A1in** — a FIFO queue receiving first-time pages (default 25 % of the
+  buffer).  Pages leaving A1in resident-wise are remembered in …
+* **A1out** — a ghost list of page *ids* only (default tracking as many
+  ids as 50 % of the buffer).  A hit on a ghost id is the signal that the
+  page deserves long-term caching: it is admitted to …
+* **Am** — the main LRU area for proven-hot pages.
+
+Unlike LRU-K's unbounded retained history, the ghost list is bounded, but
+2Q still keeps (a little) state about pages that left the buffer — ASB
+keeps none.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.buffer.frames import Frame
+from repro.buffer.manager import BufferFullError, BufferManager
+from repro.buffer.policies.base import ReplacementPolicy
+from repro.storage.page import PageId
+
+
+class TwoQ(ReplacementPolicy):
+    """The 2Q algorithm (full version, simplified thresholds)."""
+
+    name = "2Q"
+
+    def __init__(
+        self, kin_fraction: float = 0.25, kout_fraction: float = 0.5
+    ) -> None:
+        super().__init__()
+        if not 0.0 < kin_fraction < 1.0:
+            raise ValueError("kin_fraction must be in (0, 1)")
+        if kout_fraction <= 0.0:
+            raise ValueError("kout_fraction must be positive")
+        self.kin_fraction = kin_fraction
+        self.kout_fraction = kout_fraction
+        # Resident structures: FIFO of newcomers, LRU of proven-hot pages.
+        self._a1in: OrderedDict[PageId, None] = OrderedDict()
+        self._am: OrderedDict[PageId, None] = OrderedDict()
+        # Ghost ids of pages recently evicted from A1in.
+        self._a1out: OrderedDict[PageId, None] = OrderedDict()
+        self._kin = 1
+        self._kout = 1
+
+    def attach(self, buffer: BufferManager) -> None:
+        super().attach(buffer)
+        self._kin = max(1, round(self.kin_fraction * buffer.capacity))
+        self._kout = max(1, round(self.kout_fraction * buffer.capacity))
+
+    # ------------------------------------------------------------------
+    # Event hooks
+    # ------------------------------------------------------------------
+
+    def on_load(self, frame: Frame) -> None:
+        page_id = frame.page_id
+        if page_id in self._a1out:
+            # The second-reference signal: admit straight to the hot area.
+            del self._a1out[page_id]
+            self._am[page_id] = None
+        else:
+            self._a1in[page_id] = None
+
+    def on_hit(self, frame: Frame, correlated: bool) -> None:
+        page_id = frame.page_id
+        if page_id in self._am:
+            self._am.move_to_end(page_id)
+        # A hit inside A1in does nothing (the 2Q rule: correlated bursts
+        # must not promote a page; only a reference after A1in eviction
+        # proves long-term value).
+
+    def on_evict(self, frame: Frame) -> None:
+        page_id = frame.page_id
+        if page_id in self._a1in:
+            del self._a1in[page_id]
+            self._a1out[page_id] = None
+            while len(self._a1out) > self._kout:
+                self._a1out.popitem(last=False)
+        else:
+            self._am.pop(page_id, None)
+
+    def reset(self) -> None:
+        self._a1in.clear()
+        self._am.clear()
+        self._a1out.clear()
+
+    # ------------------------------------------------------------------
+    # Victim selection
+    # ------------------------------------------------------------------
+
+    def select_victim(self) -> PageId:
+        frames = self.buffer.frames
+        # Prefer draining A1in once it exceeds its target share.
+        if len(self._a1in) > self._kin:
+            for page_id in self._a1in:  # FIFO order
+                if not frames[page_id].pinned:
+                    return page_id
+        for page_id in self._am:  # LRU order
+            if not frames[page_id].pinned:
+                return page_id
+        for page_id in self._a1in:
+            if not frames[page_id].pinned:
+                return page_id
+        raise BufferFullError("all resident pages are pinned")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def a1in_size(self) -> int:
+        return len(self._a1in)
+
+    @property
+    def am_size(self) -> int:
+        return len(self._am)
+
+    @property
+    def ghost_size(self) -> int:
+        """Ids remembered about non-resident pages (bounded, unlike LRU-K)."""
+        return len(self._a1out)

@@ -1,0 +1,56 @@
+"""Buffer statistics.
+
+The paper's experiments report disk accesses; hit/miss counts are the
+buffer-side view of the same events (every miss is one disk read).  The
+stats object also tracks eviction counts and the policy's auxiliary memory
+(LRU-K's retained history), so the memory argument of Section 4.3 — ASB
+needs no per-evicted-page state, LRU-K does — can be reproduced as data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class BufferStats:
+    """Counters kept by a :class:`~repro.buffer.manager.BufferManager`."""
+
+    requests: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    queries: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of requests served from the buffer (0.0 if unused)."""
+        if self.requests == 0:
+            return 0.0
+        return self.hits / self.requests
+
+    @property
+    def disk_reads(self) -> int:
+        """Disk reads caused by buffer misses (the paper's metric)."""
+        return self.misses
+
+    def reset(self) -> None:
+        self.requests = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+        self.queries = 0
+
+    def snapshot(self) -> dict[str, float]:
+        """A plain-dict view, convenient for reports and assertions."""
+        return {
+            "requests": self.requests,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "writebacks": self.writebacks,
+            "queries": self.queries,
+            "hit_ratio": self.hit_ratio,
+        }

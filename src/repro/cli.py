@@ -1,0 +1,289 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the common workflows without writing any code:
+
+* ``figure`` — regenerate one (or all) of the paper's figures;
+* ``dataset`` — generate and describe a synthetic dataset;
+* ``trace`` — record the page-access trace of a query set to JSON;
+* ``replay`` — replay a recorded trace against a replacement policy;
+* ``advise`` — recommend a buffer size and policy for a recorded trace;
+* ``map`` — render a dataset (and optionally a query set) as ASCII density
+  maps;
+* ``reproduce`` — run every figure and ablation, writing a markdown report.
+
+Examples::
+
+    python -m repro figure 13
+    python -m repro figure all --objects 10000 --queries 150
+    python -m repro dataset db2 --objects 50000
+    python -m repro trace --set INT-W-100 --out /tmp/trace.json
+    python -m repro replay /tmp/trace.json --policy ASB --capacity 64
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.buffer.policies import (
+    ARC,
+    ASB,
+    FIFO,
+    LFU,
+    LRU,
+    LRUK,
+    LRUP,
+    LRUT,
+    MRU,
+    SLRU,
+    Clock,
+    DomainSeparation,
+    GClock,
+    RandomPolicy,
+    SpatialPolicy,
+    TwoQ,
+)
+
+#: Policy names accepted by ``replay --policy``.
+POLICY_FACTORIES = {
+    "LRU": LRU,
+    "FIFO": FIFO,
+    "CLOCK": Clock,
+    "LFU": LFU,
+    "MRU": MRU,
+    "RANDOM": RandomPolicy,
+    "LRU-T": LRUT,
+    "LRU-P": LRUP,
+    "LRU-2": lambda: LRUK(k=2),
+    "LRU-3": lambda: LRUK(k=3),
+    "LRU-5": lambda: LRUK(k=5),
+    "A": lambda: SpatialPolicy("A"),
+    "EA": lambda: SpatialPolicy("EA"),
+    "M": lambda: SpatialPolicy("M"),
+    "EM": lambda: SpatialPolicy("EM"),
+    "EO": lambda: SpatialPolicy("EO"),
+    "SLRU": lambda: SLRU(fraction=0.25),
+    "ASB": ASB,
+    "2Q": TwoQ,
+    "ARC": ARC,
+    "GCLOCK": GClock,
+    "DOMAIN": DomainSeparation,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Brinkhoff (EDBT 2002): robust, self-tuning "
+            "page replacement for spatial database systems."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    figure = commands.add_parser(
+        "figure", help="regenerate a paper figure (4-9, 12-14, or 'all')"
+    )
+    figure.add_argument("number", help="figure number, e.g. 13, or 'all'")
+    figure.add_argument("--objects", type=int, default=40_000,
+                        help="objects in database 1 (db2 scales to 3/4)")
+    figure.add_argument("--queries", type=int, default=300,
+                        help="queries per query set")
+    figure.add_argument("--seed", type=int, default=7)
+
+    dataset = commands.add_parser(
+        "dataset", help="generate and describe a synthetic dataset"
+    )
+    dataset.add_argument("which", choices=["db1", "db2"])
+    dataset.add_argument("--objects", type=int, default=40_000)
+    dataset.add_argument("--seed", type=int, default=7)
+
+    trace = commands.add_parser(
+        "trace", help="record a query set's page-access trace to JSON"
+    )
+    trace.add_argument("--set", dest="set_name", default="S-W-100",
+                       help="query set name (e.g. U-P, INT-W-33)")
+    trace.add_argument("--out", required=True, help="output JSON path")
+    trace.add_argument("--objects", type=int, default=20_000)
+    trace.add_argument("--queries", type=int, default=200)
+    trace.add_argument("--seed", type=int, default=7)
+
+    replay = commands.add_parser(
+        "replay", help="replay a recorded trace against a policy"
+    )
+    replay.add_argument("trace", help="trace JSON path")
+    replay.add_argument("--policy", default="ASB",
+                        choices=sorted(POLICY_FACTORIES))
+    replay.add_argument("--capacity", type=int, default=64,
+                        help="buffer size in pages")
+
+    advise = commands.add_parser(
+        "advise", help="recommend buffer size and policy for a trace"
+    )
+    advise.add_argument("trace", help="trace JSON path")
+    advise.add_argument("--coverage", type=float, default=0.9,
+                        help="share of achievable hits the size must reach")
+
+    map_cmd = commands.add_parser(
+        "map", help="render dataset / query densities as ASCII maps"
+    )
+    map_cmd.add_argument("which", choices=["db1", "db2"])
+    map_cmd.add_argument("--objects", type=int, default=30_000)
+    map_cmd.add_argument("--seed", type=int, default=7)
+    map_cmd.add_argument("--set", dest="set_name", default=None,
+                         help="also render this query set's density")
+    map_cmd.add_argument("--queries", type=int, default=500)
+    map_cmd.add_argument("--width", type=int, default=72)
+    map_cmd.add_argument("--height", type=int, default=24)
+
+    reproduce = commands.add_parser(
+        "reproduce", help="run every figure + ablation into a report"
+    )
+    reproduce.add_argument("--out", required=True, help="output directory")
+    reproduce.add_argument("--objects", type=int, default=40_000)
+    reproduce.add_argument("--queries", type=int, default=300)
+    reproduce.add_argument("--seed", type=int, default=7)
+    reproduce.add_argument("--figures-only", action="store_true")
+    return parser
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import ALL_FIGURES, make_setup
+
+    if args.number == "all":
+        names = sorted(ALL_FIGURES)
+    else:
+        key = f"figure_{int(args.number):02d}"
+        if key not in ALL_FIGURES:
+            print(f"no such figure: {args.number}", file=sys.stderr)
+            return 2
+        names = [key]
+    setup = make_setup(
+        n_objects_db1=args.objects,
+        n_objects_db2=max(1_000, args.objects * 3 // 4),
+        n_queries=args.queries,
+        seed=args.seed,
+    )
+    for name in names:
+        print(ALL_FIGURES[name](setup).to_text())
+        print()
+    return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    from repro.datasets.stats import describe
+    from repro.datasets.synthetic import us_mainland_like, world_atlas_like
+
+    generator = us_mainland_like if args.which == "db1" else world_atlas_like
+    dataset = generator(n_objects=args.objects, seed=args.seed)
+    print(describe(dataset))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.datasets.synthetic import us_mainland_like
+    from repro.experiments.harness import build_database
+    from repro.experiments.trace import record_trace
+
+    database = build_database(
+        us_mainland_like(n_objects=args.objects, seed=args.seed)
+    )
+    query_set = database.query_set(args.set_name, args.queries, args.seed)
+    trace = record_trace(database.tree, query_set)
+    trace.save(args.out)
+    print(
+        f"recorded {len(trace)} references over {trace.query_count} queries "
+        f"({trace.distinct_pages} distinct pages) -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.experiments.trace import AccessTrace, replay_trace
+
+    trace = AccessTrace.load(args.trace)
+    policy = POLICY_FACTORIES[args.policy]()
+    stats = replay_trace(trace, policy, args.capacity)
+    print(
+        f"{args.policy} @ {args.capacity} pages: "
+        f"{stats.misses} disk reads, {stats.hits} hits "
+        f"(hit ratio {stats.hit_ratio:.1%}) over {stats.requests} requests"
+    )
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from repro.experiments.advisor import advise_from_trace
+    from repro.experiments.trace import AccessTrace
+
+    trace = AccessTrace.load(args.trace)
+    advice = advise_from_trace(trace, coverage=args.coverage)
+    print(advice.to_text())
+    return 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    from repro.datasets.places import synthetic_places
+    from repro.datasets.render import density_map, query_map
+    from repro.datasets.synthetic import us_mainland_like, world_atlas_like
+    from repro.workloads.sets import make_query_set
+
+    generator = us_mainland_like if args.which == "db1" else world_atlas_like
+    dataset = generator(n_objects=args.objects, seed=args.seed)
+    print(f"object density of {dataset.name}:")
+    print(density_map(dataset, columns=args.width, rows=args.height))
+    if args.set_name:
+        places = synthetic_places(dataset, count=1_000, seed=args.seed)
+        queries = make_query_set(
+            args.set_name, dataset, places, args.queries, args.seed
+        )
+        print(f"\nquery density of {args.set_name}:")
+        print(
+            query_map(
+                queries.queries, dataset.space,
+                columns=args.width, rows=args.height,
+            )
+        )
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import make_setup
+    from repro.experiments.suite import run_reproduction
+
+    setup = make_setup(
+        n_objects_db1=args.objects,
+        n_objects_db2=max(1_000, args.objects * 3 // 4),
+        n_queries=args.queries,
+        seed=args.seed,
+    )
+    run = run_reproduction(
+        setup,
+        output_dir=args.out,
+        include_ablations=not args.figures_only,
+        progress=lambda name: print(f"running {name} ..."),
+    )
+    print(
+        f"wrote {len(run.results)} experiment tables and REPORT.md to {args.out}"
+    )
+    if run.errors:
+        for name, message in run.errors.items():
+            print(f"FAILED {name}: {message}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "figure": _cmd_figure,
+        "dataset": _cmd_dataset,
+        "trace": _cmd_trace,
+        "replay": _cmd_replay,
+        "advise": _cmd_advise,
+        "map": _cmd_map,
+        "reproduce": _cmd_reproduce,
+    }
+    return handlers[args.command](args)

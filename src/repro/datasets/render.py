@@ -1,0 +1,67 @@
+"""ASCII rendering of datasets and query workloads.
+
+Terminal-friendly density maps: see where a synthetic dataset's continents
+and cities lie, and where a query set concentrates — the fastest way to
+sanity-check a calibration (EXPERIMENTS.md) or to explain a result
+("intensified queries all land on the two dense blobs").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.datasets.synthetic import Dataset
+from repro.geometry.rect import Rect
+from repro.workloads.queries import Query
+
+#: Density ramp from empty to dense.
+RAMP = " .:-=+*#%@"
+
+
+def _grid_counts(
+    rects: Iterable[Rect], space: Rect, columns: int, rows: int
+) -> list[list[int]]:
+    counts = [[0] * columns for _ in range(rows)]
+    width = space.width or 1.0
+    height = space.height or 1.0
+    for rect in rects:
+        center = rect.center
+        column = min(columns - 1, int((center.x - space.x_min) / width * columns))
+        row = min(rows - 1, int((center.y - space.y_min) / height * rows))
+        counts[row][column] += 1
+    return counts
+
+
+def _render(counts: Sequence[Sequence[int]]) -> str:
+    peak = max((value for row in counts for value in row), default=0) or 1
+    lines = []
+    # Row 0 is the bottom of the data space; print top-down.
+    for row in reversed(counts):
+        line = "".join(
+            RAMP[min(len(RAMP) - 1, round(value / peak * (len(RAMP) - 1)))]
+            for value in row
+        )
+        lines.append("|" + line + "|")
+    border = "+" + "-" * len(counts[0]) + "+"
+    return "\n".join([border, *lines, border])
+
+
+def density_map(dataset: Dataset, columns: int = 72, rows: int = 24) -> str:
+    """Render the object density of a dataset as an ASCII map."""
+    if columns < 2 or rows < 2:
+        raise ValueError("map needs at least 2x2 cells")
+    counts = _grid_counts(dataset.rects, dataset.space, columns, rows)
+    return _render(counts)
+
+
+def query_map(
+    queries: Sequence[Query],
+    space: Rect,
+    columns: int = 72,
+    rows: int = 24,
+) -> str:
+    """Render where a query set concentrates (query-region centres)."""
+    if columns < 2 or rows < 2:
+        raise ValueError("map needs at least 2x2 cells")
+    counts = _grid_counts((query.region for query in queries), space, columns, rows)
+    return _render(counts)

@@ -1,0 +1,54 @@
+"""Descriptive statistics of a synthetic dataset.
+
+Used by the examples and by sanity tests that assert the generators really
+produce the structural properties DESIGN.md claims (clustering, dead space,
+extent mix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.synthetic import Dataset
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetStats:
+    """Summary numbers of a dataset."""
+
+    name: str
+    object_count: int
+    point_fraction: float
+    mean_width: float
+    mean_height: float
+    land_coverage: float
+    cluster_count: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.object_count} objects, "
+            f"{self.point_fraction:.0%} points, "
+            f"mean extent {self.mean_width:.5f} x {self.mean_height:.5f}, "
+            f"land covers {self.land_coverage:.0%} of the space, "
+            f"{self.cluster_count} clusters"
+        )
+
+
+def describe(dataset: Dataset) -> DatasetStats:
+    """Compute summary statistics for a dataset."""
+    count = len(dataset.rects)
+    if count == 0:
+        raise ValueError("cannot describe an empty dataset")
+    points = sum(1 for rect in dataset.rects if rect.area == 0.0)
+    mean_width = sum(rect.width for rect in dataset.rects) / count
+    mean_height = sum(rect.height for rect in dataset.rects) / count
+    land_area = sum(rect.area for rect in dataset.land)
+    return DatasetStats(
+        name=dataset.name,
+        object_count=count,
+        point_fraction=points / count,
+        mean_width=mean_width,
+        mean_height=mean_height,
+        land_coverage=min(1.0, land_area / dataset.space.area),
+        cluster_count=len(dataset.clusters),
+    )

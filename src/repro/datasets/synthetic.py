@@ -1,0 +1,345 @@
+"""Seeded generators for the two databases of the paper.
+
+Database 1 of the paper is the US mainland (GNIS features): strongly
+clustered point/small-extent objects inside a continental outline, with
+empty "ocean" margins around it.  Database 2 is a world atlas: several
+continent-shaped clusters that cover only a minority of the data space, the
+rest being water.  The generators below reproduce those structural
+properties — cluster density gradients, dead space, object extent mix —
+which are what drives page MBR sizes and therefore the behaviour of the
+spatial replacement criteria.
+
+Both generators are deterministic under a fixed seed and scale freely via
+``n_objects`` (the experiments default to ~10^5 objects; the paper's scale
+of 1.6 * 10^6 works too, it just takes longer to index).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.geometry.rect import Point, Rect
+
+#: All synthetic data lives in the unit square.
+UNIT_SPACE = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+@dataclass(frozen=True, slots=True)
+class Cluster:
+    """A population cluster ("city region") of a synthetic dataset.
+
+    ``weight`` is the share of clustered objects that fall into this
+    cluster; it doubles as the density proxy the places generator uses to
+    assign populations (dense regions host the big cities — the property
+    behind the paper's intensified-distribution result).
+    """
+
+    center: Point
+    spread: float
+    weight: float
+
+
+@dataclass(slots=True)
+class Dataset:
+    """A named collection of object MBRs inside a data space."""
+
+    name: str
+    space: Rect
+    rects: list[Rect]
+    clusters: list[Cluster] = field(default_factory=list)
+    #: Regions considered "land"; queries outside hit nothing (database 2).
+    land: list[Rect] = field(default_factory=list)
+
+    def items(self) -> list[tuple[Rect, int]]:
+        """(MBR, object id) pairs, the input format of the SAM builders."""
+        return [(rect, index) for index, rect in enumerate(self.rects)]
+
+    def __len__(self) -> int:
+        return len(self.rects)
+
+
+def _inside_ellipse(point: Point, center: Point, rx: float, ry: float) -> bool:
+    dx = (point.x - center.x) / rx
+    dy = (point.y - center.y) / ry
+    return dx * dx + dy * dy <= 1.0
+
+
+def _sample_in_ellipse(
+    rng: random.Random, center: Point, rx: float, ry: float
+) -> Point:
+    """Uniform sample inside an axis-aligned ellipse."""
+    while True:
+        x = rng.uniform(-1.0, 1.0)
+        y = rng.uniform(-1.0, 1.0)
+        if x * x + y * y <= 1.0:
+            return Point(center.x + x * rx, center.y + y * ry)
+
+
+def _clamp_point(point: Point, space: Rect) -> Point:
+    return Point(
+        min(max(point.x, space.x_min), space.x_max),
+        min(max(point.y, space.y_min), space.y_max),
+    )
+
+
+def _object_rect(
+    rng: random.Random,
+    location: Point,
+    space: Rect,
+    extended_fraction: float,
+    mean_extent: float,
+) -> Rect:
+    """An object MBR at ``location``: a point or a small extended rectangle."""
+    if rng.random() >= extended_fraction:
+        return location.as_rect()
+    width = rng.expovariate(1.0 / mean_extent)
+    height = rng.expovariate(1.0 / mean_extent)
+    rect = Rect.from_center(location, width, height)
+    clipped = rect.clipped(space)
+    return clipped if clipped is not None else location.as_rect()
+
+
+def _make_clusters(
+    rng: random.Random,
+    count: int,
+    inside,  # Callable[[Point], bool]
+    sampler,  # Callable[[], Point]
+    zipf_exponent: float,
+    spread_range: tuple[float, float] = (0.006, 0.018),
+) -> list[Cluster]:
+    """Cluster centres with Zipf-distributed weights.
+
+    Real settlement sizes are Zipf-distributed; giving cluster weights the
+    same shape yields the density skew that makes the intensified query
+    distribution interesting.
+    """
+    clusters = []
+    raw_weights = [1.0 / (rank**zipf_exponent) for rank in range(1, count + 1)]
+    total = sum(raw_weights)
+    for weight in raw_weights:
+        while True:
+            center = sampler()
+            if inside(center):
+                break
+        spread = rng.uniform(*spread_range)
+        clusters.append(Cluster(center=center, spread=spread, weight=weight / total))
+    return clusters
+
+
+def _sample_objects(
+    rng: random.Random,
+    n_objects: int,
+    clusters: list[Cluster],
+    inside,  # Callable[[Point], bool]
+    uniform_sampler,  # Callable[[], Point]
+    space: Rect,
+    clustered_fraction: float,
+    extended_fraction: float,
+    mean_extent: float,
+) -> list[Rect]:
+    rects: list[Rect] = []
+    cumulative: list[float] = []
+    running = 0.0
+    for cluster in clusters:
+        running += cluster.weight
+        cumulative.append(running)
+    for _ in range(n_objects):
+        if rng.random() < clustered_fraction:
+            pick = rng.random() * running
+            index = _bisect_cumulative(cumulative, pick)
+            cluster = clusters[index]
+            while True:
+                location = Point(
+                    rng.gauss(cluster.center.x, cluster.spread),
+                    rng.gauss(cluster.center.y, cluster.spread),
+                )
+                location = _clamp_point(location, space)
+                if inside(location):
+                    break
+        else:
+            while True:
+                location = uniform_sampler()
+                if inside(location):
+                    break
+        rects.append(
+            _object_rect(rng, location, space, extended_fraction, mean_extent)
+        )
+    return rects
+
+
+def _bisect_cumulative(cumulative: list[float], value: float) -> int:
+    lo, hi = 0, len(cumulative) - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if cumulative[mid] < value:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def us_mainland_like(
+    n_objects: int = 100_000,
+    seed: int = 1,
+    n_clusters: int = 300,
+    clustered_fraction: float = 0.65,
+    extended_fraction: float = 0.3,
+    mean_extent: float = 0.002,
+    cluster_zipf: float = 0.45,
+) -> Dataset:
+    """Database-1 stand-in: one continental mass with clustered features.
+
+    The "mainland" is an ellipse covering most of the unit square; objects
+    are a mixture of city clusters (Zipf weights) and rural background.
+    Like the GNIS data, most objects are points, a minority has a small
+    extent.
+    """
+    rng = random.Random(seed)
+    center = Point(0.5, 0.5)
+    rx, ry = 0.46, 0.38
+
+    def inside(point: Point) -> bool:
+        return _inside_ellipse(point, center, rx, ry)
+
+    def uniform_sampler() -> Point:
+        return Point(rng.random(), rng.random())
+
+    def cluster_sampler() -> Point:
+        return _sample_in_ellipse(rng, center, rx, ry)
+
+    clusters = _make_clusters(rng, n_clusters, inside, cluster_sampler, cluster_zipf)
+    rects = _sample_objects(
+        rng,
+        n_objects,
+        clusters,
+        inside,
+        uniform_sampler,
+        UNIT_SPACE,
+        clustered_fraction,
+        extended_fraction,
+        mean_extent,
+    )
+    land = [
+        Rect(center.x - rx, center.y - ry, center.x + rx, center.y + ry),
+    ]
+    return Dataset(
+        name="us-mainland-like",
+        space=UNIT_SPACE,
+        rects=rects,
+        clusters=clusters,
+        land=land,
+    )
+
+
+#: Continent blobs of the world-atlas stand-in: (center, rx, ry).
+#:
+#: All land sits in the western half of the map, like the paper's world
+#: atlas where the eastern Pacific leaves a huge water gap: x-mirroring a
+#: land location (the independent query distribution) must usually land in
+#: water, so those queries terminate at the root page (Section 3.5.3).
+_CONTINENTS: list[tuple[Point, float, float]] = [
+    (Point(0.13, 0.62), 0.09, 0.13),  # "North America"
+    (Point(0.21, 0.28), 0.07, 0.13),  # "South America"
+    (Point(0.36, 0.68), 0.08, 0.09),  # "Europe"
+    (Point(0.40, 0.38), 0.08, 0.13),  # "Africa"
+    (Point(0.55, 0.58), 0.12, 0.08),  # "Asia" — straddles the mirror axis,
+    # so a minority of x-mirrored queries still meets land (the paper's
+    # "most query points meet water", not "all")
+    (Point(0.30, 0.10), 0.06, 0.06),  # "Australia"
+]
+
+
+def world_atlas_like(
+    n_objects: int = 60_000,
+    seed: int = 2,
+    clusters_per_continent: int = 40,
+    clustered_fraction: float = 0.65,
+    extended_fraction: float = 0.6,
+    mean_extent: float = 0.003,
+    cluster_zipf: float = 0.45,
+) -> Dataset:
+    """Database-2 stand-in: continents in an ocean.
+
+    The defining property (used by the paper to explain the collapse of the
+    pure spatial policy under the independent distribution): most of the
+    data space is water, so an x-mirrored query usually hits nothing and is
+    answered by the root page alone.  Object extents are larger on average
+    than in database 1, mimicking line/area features.
+    """
+    rng = random.Random(seed)
+
+    def inside(point: Point) -> bool:
+        return any(
+            _inside_ellipse(point, center, rx, ry)
+            for center, rx, ry in _CONTINENTS
+        )
+
+    def uniform_sampler() -> Point:
+        return Point(rng.random(), rng.random())
+
+    clusters: list[Cluster] = []
+    for continent_center, rx, ry in _CONTINENTS:
+
+        def continent_sampler(
+            c: Point = continent_center, a: float = rx, b: float = ry
+        ) -> Point:
+            return _sample_in_ellipse(rng, c, a, b)
+
+        def continent_inside(
+            point: Point, c: Point = continent_center, a: float = rx, b: float = ry
+        ) -> bool:
+            return _inside_ellipse(point, c, a, b)
+
+        clusters.extend(
+            _make_clusters(
+                rng,
+                clusters_per_continent,
+                continent_inside,
+                continent_sampler,
+                cluster_zipf,
+            )
+        )
+    # Re-normalise the per-continent weights over the whole world, scaled by
+    # continent area so big continents hold more objects.
+    areas = [math.pi * rx * ry for _, rx, ry in _CONTINENTS]
+    total_area = sum(areas)
+    scaled: list[Cluster] = []
+    for index, cluster in enumerate(clusters):
+        continent = index // clusters_per_continent
+        factor = areas[continent] / total_area
+        scaled.append(
+            Cluster(
+                center=cluster.center,
+                spread=cluster.spread,
+                weight=cluster.weight * factor,
+            )
+        )
+    weight_sum = sum(c.weight for c in scaled)
+    scaled = [
+        Cluster(center=c.center, spread=c.spread, weight=c.weight / weight_sum)
+        for c in scaled
+    ]
+    rects = _sample_objects(
+        rng,
+        n_objects,
+        scaled,
+        inside,
+        uniform_sampler,
+        UNIT_SPACE,
+        clustered_fraction,
+        extended_fraction,
+        mean_extent,
+    )
+    land = [
+        Rect(center.x - rx, center.y - ry, center.x + rx, center.y + ry)
+        for center, rx, ry in _CONTINENTS
+    ]
+    return Dataset(
+        name="world-atlas-like",
+        space=UNIT_SPACE,
+        rects=rects,
+        clusters=scaled,
+        land=land,
+    )

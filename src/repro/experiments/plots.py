@@ -1,0 +1,108 @@
+"""Plain-text charts for experiment output.
+
+The benches and examples run in terminals; these helpers render the
+paper-figure data as ASCII charts — a line chart for series like the
+candidate-set trace (Figure 14), horizontal bars for per-policy gains, and
+a histogram for distributions.  No plotting dependency required.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def line_chart(
+    values: Sequence[float],
+    width: int = 72,
+    height: int = 12,
+    label: str = "",
+) -> str:
+    """Render a numeric series as an ASCII line chart.
+
+    The series is down-sampled to ``width`` columns (taking the maximum per
+    bucket, so spikes stay visible) and scaled to ``height`` rows.
+    """
+    if width < 2 or height < 2:
+        raise ValueError("chart needs width and height of at least 2")
+    if not values:
+        return "(no data)"
+    step = max(1, (len(values) + width - 1) // width)
+    sampled = [
+        max(values[i : i + step]) for i in range(0, len(values), step)
+    ][:width]
+    top = max(sampled)
+    bottom = min(sampled)
+    span = (top - bottom) or 1.0
+    rows = []
+    for row in range(height, 0, -1):
+        threshold = bottom + span * (row - 0.5) / height
+        # The bottom row always shows the line, so a constant series still
+        # renders something.
+        line = "".join(
+            "#" if value >= threshold or row == 1 else " " for value in sampled
+        )
+        axis_value = bottom + span * row / height
+        rows.append(f"{axis_value:8.1f} |{line}")
+    rows.append(" " * 9 + "+" + "-" * len(sampled))
+    if label:
+        rows.append(" " * 10 + label)
+    return "\n".join(rows)
+
+
+def bar_chart(
+    data: Mapping[str, float],
+    width: int = 48,
+    unit: str = "",
+    zero_origin: bool = True,
+) -> str:
+    """Horizontal bars for labelled values (e.g. per-policy gains).
+
+    Negative values grow to the left of the axis, positive to the right,
+    so gain-vs-LRU comparisons read naturally.
+    """
+    if not data:
+        return "(no data)"
+    labels = list(data)
+    values = [data[label] for label in labels]
+    label_width = max(len(label) for label in labels)
+    biggest = max(abs(value) for value in values) or 1.0
+    half = width // 2
+    lines = []
+    for label, value in zip(labels, values):
+        length = round(abs(value) / biggest * half)
+        if value >= 0:
+            bar = " " * half + "|" + "#" * length
+        else:
+            bar = " " * (half - length) + "#" * length + "|"
+        lines.append(
+            f"{label.ljust(label_width)} {bar.ljust(width + 1)} "
+            f"{value:+.3g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 40,
+) -> str:
+    """A fixed-bin histogram of a numeric sample."""
+    if bins < 1:
+        raise ValueError("bins must be positive")
+    if not values:
+        return "(no data)"
+    low = min(values)
+    high = max(values)
+    span = (high - low) or 1.0
+    counts = [0] * bins
+    for value in values:
+        index = min(bins - 1, int((value - low) / span * bins))
+        counts[index] += 1
+    peak = max(counts) or 1
+    lines = []
+    for index, count in enumerate(counts):
+        lo = low + span * index / bins
+        hi = low + span * (index + 1) / bins
+        bar = "#" * round(count / peak * width)
+        lines.append(f"[{lo:10.4g}, {hi:10.4g}) {bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Plain-text reporting for experiment results.
+
+The benches print the same rows/series as the paper's figures; these
+helpers keep the formatting consistent across all of them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_gain(value: float) -> str:
+    """A relative gain as the paper's percent notation, e.g. ``+12.3%``."""
+    return f"{value * 100:+.1f}%"
+
+
+def format_ratio(value: float) -> str:
+    """A relative access count, e.g. ``103.5%`` (Figure 6's scale)."""
+    return f"{value * 100:.1f}%"
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Align a table of stringifiable cells for terminal output."""
+    materialised = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialised:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in materialised:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,161 @@
+"""Trace-driven buffer simulation.
+
+The classic methodology of buffer studies (including LRU-K's original
+evaluation): record the page-reference string of a workload once, then
+replay it against any number of replacement policies — identical input by
+construction, no index code on the replay path, and traces can be saved to
+JSON and shared.
+
+A trace stores, per reference, the page id and the query it belonged to
+(for the correlation semantics of LRU-K), plus a catalogue of the page
+metadata the policies consume: type, level and entry MBRs.  Replaying
+reconstructs lightweight pages on a fresh simulated disk, so a saved trace
+is self-contained.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.buffer.manager import BufferManager
+from repro.buffer.policies.base import ReplacementPolicy
+from repro.buffer.stats import BufferStats
+from repro.geometry.rect import Rect
+from repro.sam.base import SpatialIndex
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import Page, PageEntry, PageId, PageType
+from repro.workloads.queries import Query
+
+
+@dataclass(slots=True)
+class AccessTrace:
+    """A recorded page-reference string plus the referenced pages' metadata."""
+
+    #: (page_id, query_index) per reference, in order.
+    references: list[tuple[PageId, int]] = field(default_factory=list)
+    #: page_id -> (page_type value, level, [entry mbr tuples]).
+    catalogue: dict[PageId, tuple[str, int, list[tuple[float, float, float, float]]]] = field(
+        default_factory=dict
+    )
+
+    def __len__(self) -> int:
+        return len(self.references)
+
+    @property
+    def query_count(self) -> int:
+        if not self.references:
+            return 0
+        return max(query for _, query in self.references) + 1
+
+    @property
+    def distinct_pages(self) -> int:
+        return len(self.catalogue)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "references": [[pid, query] for pid, query in self.references],
+            "catalogue": {
+                str(pid): [page_type, level, mbrs]
+                for pid, (page_type, level, mbrs) in self.catalogue.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AccessTrace":
+        trace = cls()
+        trace.references = [(pid, query) for pid, query in data["references"]]
+        trace.catalogue = {
+            int(pid): (
+                page_type,
+                level,
+                [tuple(mbr) for mbr in mbrs],
+            )
+            for pid, (page_type, level, mbrs) in data["catalogue"].items()
+        }
+        return trace
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict()), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "AccessTrace":
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+class _RecordingAccessor:
+    """Accessor wrapper that appends every fetch to a trace."""
+
+    def __init__(self, index: SpatialIndex, trace: AccessTrace) -> None:
+        self._index = index
+        self._trace = trace
+        self.current_query = 0
+
+    def fetch(self, page_id: PageId) -> Page:
+        page = self._index.pagefile.disk.peek(page_id)
+        self._trace.references.append((page_id, self.current_query))
+        if page_id not in self._trace.catalogue:
+            self._trace.catalogue[page_id] = (
+                page.page_type.value,
+                page.level,
+                [entry.mbr.as_tuple() for entry in page.entries],
+            )
+        return page
+
+
+def record_trace(index: SpatialIndex, queries: Iterable[Query]) -> AccessTrace:
+    """Run the queries against the index, recording every page reference."""
+    trace = AccessTrace()
+    accessor = _RecordingAccessor(index, trace)
+    for position, query in enumerate(queries):
+        accessor.current_query = position
+        query.run(index, accessor)
+    return trace
+
+
+def trace_disk(trace: AccessTrace) -> SimulatedDisk:
+    """A simulated disk holding reconstructions of the trace's pages.
+
+    Entry payloads are synthetic (the entry index); the spatial policies
+    only read MBRs, types and levels, which are reproduced faithfully.
+    """
+    disk = SimulatedDisk()
+    for page_id, (type_value, level, mbrs) in trace.catalogue.items():
+        page = Page(
+            page_id=page_id, page_type=PageType(type_value), level=level
+        )
+        for index, mbr in enumerate(mbrs):
+            page.entries.append(PageEntry(mbr=Rect(*mbr), payload=index))
+        disk.store(page)
+    return disk
+
+
+def replay_trace(
+    trace: AccessTrace, policy: ReplacementPolicy, capacity: int
+) -> BufferStats:
+    """Replay a trace against a fresh buffer; returns the buffer statistics.
+
+    References sharing a query index run inside one query scope, so the
+    correlation semantics match the live run that produced the trace.
+    """
+    disk = trace_disk(trace)
+    buffer = BufferManager(disk, capacity, policy)
+    current_query: int | None = None
+    scope = None
+    for page_id, query in trace.references:
+        if query != current_query:
+            if scope is not None:
+                scope.__exit__(None, None, None)
+            scope = buffer.query_scope()
+            scope.__enter__()
+            current_query = query
+        buffer.fetch(page_id)
+    if scope is not None:
+        scope.__exit__(None, None, None)
+    return buffer.stats

@@ -1,0 +1,36 @@
+"""Spatial access methods (SAMs).
+
+The paper evaluates replacement policies on an R*-tree; Section 2.3 notes
+that page entries may equally be R-tree rectangles, quadtree cells, or
+z-values in a B-tree.  This package provides all of them:
+
+* :class:`RStarTree` — the paper's index (Beckmann et al. 1990), with
+  forced reinsertion, the R* split, deletion, and STR bulk loading;
+* :class:`RTree` — Guttman's original R-tree (linear/quadratic split) as a
+  baseline SAM;
+* :class:`Quadtree` — a bucket PR quadtree over buffered pages;
+* :class:`ZBTree` — a B+-tree over z-order values.
+
+All indexes build through a :class:`~repro.storage.pagefile.PageFile`
+(unaccounted) and answer queries through any page accessor — typically a
+:class:`~repro.buffer.manager.BufferManager`, so every page touched during
+a query passes through the replacement policy under study.
+"""
+
+from repro.sam.base import PageAccessor, SpatialIndex, TreeStats
+from repro.sam.gridfile import GridFile
+from repro.sam.quadtree import Quadtree
+from repro.sam.rstar import RStarTree
+from repro.sam.rtree import RTree
+from repro.sam.zbtree import ZBTree
+
+__all__ = [
+    "PageAccessor",
+    "SpatialIndex",
+    "TreeStats",
+    "RStarTree",
+    "RTree",
+    "Quadtree",
+    "ZBTree",
+    "GridFile",
+]

@@ -1,0 +1,139 @@
+"""Spatial join over two R-trees (synchronized tree traversal).
+
+The paper's future work item #2 asks for "the influence of the strategies
+on updates and spatial joins".  This module provides the join side: the
+classic R-tree spatial join of Brinkhoff, Kriegel and Seeger (SIGMOD 1993)
+— a synchronized depth-first traversal of two trees that only descends
+into pairs of directory entries whose MBRs intersect, with the
+search-space restriction to the intersection window.
+
+Both trees fetch their pages through accessors (normally buffer managers),
+so the join's page-access pattern — which alternates between the two
+trees and revisits inner pages heavily — can be replayed against any
+replacement policy.  Joins are the workload where buffering matters most:
+each page of tree R may be paired with many pages of tree S.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.geometry.rect import Rect
+from repro.sam.base import PageAccessor
+from repro.sam.rstar import RStarTree
+from repro.storage.page import Page, PageEntry
+
+
+def _matching_pairs(
+    left: Page, right: Page, window: Rect | None
+) -> Iterator[tuple[PageEntry, PageEntry]]:
+    """Entry pairs with intersecting MBRs, restricted to ``window``.
+
+    The search-space restriction of the original algorithm: an entry pair
+    can only contribute results inside the intersection of the two page
+    MBRs, so entries outside it are skipped before the quadratic pairing.
+    """
+    left_entries = left.entries
+    right_entries = right.entries
+    if window is not None:
+        left_entries = [e for e in left_entries if e.mbr.intersects(window)]
+        right_entries = [e for e in right_entries if e.mbr.intersects(window)]
+    # Sort by x_min and sweep: avoids the full quadratic pairing on wide
+    # pages (the plane-sweep order of the original paper).
+    left_sorted = sorted(left_entries, key=lambda e: e.mbr.x_min)
+    right_sorted = sorted(right_entries, key=lambda e: e.mbr.x_min)
+    for left_entry in left_sorted:
+        for right_entry in right_sorted:
+            if right_entry.mbr.x_min > left_entry.mbr.x_max:
+                break
+            if left_entry.mbr.intersects(right_entry.mbr):
+                yield left_entry, right_entry
+
+
+def spatial_join(
+    left_tree: RStarTree,
+    right_tree: RStarTree,
+    left_accessor: PageAccessor | None = None,
+    right_accessor: PageAccessor | None = None,
+) -> list[tuple[Any, Any]]:
+    """All payload pairs whose MBRs intersect (MBR-filter step).
+
+    Returns the *filter* result of a spatial join: candidate pairs by MBR
+    intersection, the step whose I/O behaviour the buffer determines.  The
+    refinement step (exact geometry) would fetch object pages and is out
+    of scope of the paper's page-access study.
+
+    The two accessors may be the same buffer manager (shared buffer, as in
+    a real system) or distinct ones (per-relation buffers).
+    """
+    if left_tree.root_id is None or right_tree.root_id is None:
+        return []
+    left_accessor = left_tree._accessor_or_build(left_accessor)
+    right_accessor = right_tree._accessor_or_build(right_accessor)
+    results: list[tuple[Any, Any]] = []
+    # The traversal stack holds (left page id, right page id, window).
+    stack: list[tuple[int, int, Rect | None]] = [
+        (left_tree.root_id, right_tree.root_id, None)
+    ]
+    while stack:
+        left_id, right_id, window = stack.pop()
+        left_page = left_accessor.fetch(left_id)
+        right_page = right_accessor.fetch(right_id)
+        if left_page.is_leaf and right_page.is_leaf:
+            for left_entry, right_entry in _matching_pairs(
+                left_page, right_page, window
+            ):
+                results.append((left_entry.payload, right_entry.payload))
+        elif left_page.is_leaf:
+            # Descend only the right tree; pair the left leaf with every
+            # intersecting right child.
+            left_mbr = left_page.mbr()
+            for entry in right_page.entries:
+                if left_mbr is not None and entry.mbr.intersects(left_mbr):
+                    stack.append((left_id, entry.child, entry.mbr))
+        elif right_page.is_leaf:
+            right_mbr = right_page.mbr()
+            for entry in left_page.entries:
+                if right_mbr is not None and entry.mbr.intersects(right_mbr):
+                    stack.append((entry.child, right_id, entry.mbr))
+        else:
+            for left_entry, right_entry in _matching_pairs(
+                left_page, right_page, window
+            ):
+                sub_window = left_entry.mbr.intersection(right_entry.mbr)
+                stack.append(
+                    (left_entry.child, right_entry.child, sub_window)
+                )
+    return results
+
+
+def nested_loop_join(
+    left_tree: RStarTree,
+    right_tree: RStarTree,
+    left_accessor: PageAccessor | None = None,
+    right_accessor: PageAccessor | None = None,
+) -> list[tuple[Any, Any]]:
+    """Baseline: index nested-loop join (one window query per left object).
+
+    Scans the left tree's leaves and probes the right tree with each
+    object's MBR.  Far more page requests than the synchronized traversal
+    — the contrast makes the buffer's role visible and provides a
+    correctness oracle for :func:`spatial_join`.
+    """
+    if left_tree.root_id is None or right_tree.root_id is None:
+        return []
+    left_accessor = left_tree._accessor_or_build(left_accessor)
+    results: list[tuple[Any, Any]] = []
+    stack = [left_tree.root_id]
+    while stack:
+        page = left_accessor.fetch(stack.pop())
+        if page.is_leaf:
+            for entry in page.entries:
+                for right_payload in right_tree.window_query(
+                    entry.mbr, right_accessor
+                ):
+                    results.append((entry.payload, right_payload))
+        else:
+            for entry in page.entries:
+                stack.append(entry.child)  # type: ignore[arg-type]
+    return results

@@ -1,0 +1,224 @@
+"""A bucket region quadtree over buffered pages.
+
+Section 2.3 of the paper defines the spatial criteria for generic page
+entries and names quadtree cells as one instance.  This quadtree partitions
+the data space completely and without overlap — the configuration for which
+the paper notes that criteria A and EA coincide on directory pages and EO
+should not be applied.
+
+Design: every node occupies one disk page.  A data (leaf) page holds up to
+``capacity`` object entries; on overflow it is replaced by a directory page
+with four quadrant children and its entries are redistributed, an entry
+going to *every* quadrant it intersects (replication, as in the MMI
+quadtree — query results are de-duplicated).  Subdivision stops at
+``max_depth``; beyond it leaves may exceed capacity.
+
+Page levels encode the LRU-P priority: a page at depth ``d`` has level
+``max_depth - d``, so the root carries the highest level, like in the
+R*-tree.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.geometry.rect import Point, Rect
+from repro.sam.base import PageAccessor, SpatialIndex, TreeStats
+from repro.storage.page import Page, PageEntry, PageId, PageType
+from repro.storage.pagefile import PageFile
+
+
+class Quadtree(SpatialIndex):
+    """Bucket quadtree with entry replication across quadrants."""
+
+    def __init__(
+        self,
+        space: Rect,
+        pagefile: PageFile | None = None,
+        capacity: int = 42,
+        max_depth: int = 12,
+    ) -> None:
+        super().__init__(pagefile if pagefile is not None else PageFile())
+        if capacity < 4:
+            raise ValueError("quadtree bucket capacity must be at least 4")
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        self.space = space
+        self.capacity = capacity
+        self.max_depth = max_depth
+        self.entry_count = 0
+        self._page_ids: set[PageId] = set()
+        # The region covered by each page, needed for subdivision; regions
+        # are implicit in a quadtree (derivable from the path), kept here to
+        # avoid re-deriving them on every insert.
+        self._regions: dict[PageId, Rect] = {}
+        self._depths: dict[PageId, int] = {}
+        root = self._new_page(depth=0, leaf=True)
+        self._regions[root.page_id] = space
+        self.root_id: PageId = root.page_id
+
+    # ------------------------------------------------------------------
+    # Page helpers
+    # ------------------------------------------------------------------
+
+    def _new_page(self, depth: int, leaf: bool) -> Page:
+        page_type = PageType.DATA if leaf else PageType.DIRECTORY
+        page = self.pagefile.allocate(page_type, level=self.max_depth - depth)
+        self._page_ids.add(page.page_id)
+        self._depths[page.page_id] = depth
+        self._register_new_page(page)
+        return page
+
+    @staticmethod
+    def _quadrants(region: Rect) -> list[Rect]:
+        center = region.center
+        return [
+            Rect(region.x_min, region.y_min, center.x, center.y),
+            Rect(center.x, region.y_min, region.x_max, center.y),
+            Rect(region.x_min, center.y, center.x, region.y_max),
+            Rect(center.x, center.y, region.x_max, region.y_max),
+        ]
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+
+    def insert(self, mbr: Rect, payload: Any) -> None:
+        """Insert an object into every leaf quadrant its MBR intersects."""
+        if not mbr.intersects(self.space):
+            raise ValueError("object lies outside the quadtree's data space")
+        self.entry_count += 1
+        self._insert_into(self.root_id, mbr, payload)
+
+    def _insert_into(self, page_id: PageId, mbr: Rect, payload: Any) -> None:
+        stack = [page_id]
+        while stack:
+            current_id = stack.pop()
+            page = self._page(current_id)
+            if page.page_type is PageType.DIRECTORY:
+                for entry in page.entries:
+                    if entry.mbr.intersects(mbr):
+                        stack.append(entry.child)  # type: ignore[arg-type]
+                continue
+            page.entries.append(PageEntry(mbr=mbr, payload=payload))
+            self._mark_dirty(page)
+            depth = self._depths[current_id]
+            if len(page.entries) > self.capacity and depth < self.max_depth:
+                self._subdivide(page, depth)
+
+    def _subdivide(self, page: Page, depth: int) -> None:
+        """Turn an overflowing leaf into a directory with four children."""
+        region = self._regions[page.page_id]
+        entries = page.entries
+        page.entries = []
+        children: list[PageEntry] = []
+        for quadrant in self._quadrants(region):
+            child = self._new_page(depth=depth + 1, leaf=True)
+            self._regions[child.page_id] = quadrant
+            child.entries = [e for e in entries if e.mbr.intersects(quadrant)]
+            children.append(PageEntry(mbr=quadrant, child=child.page_id))
+        # Convert the leaf into a directory page in place, so references
+        # from the parent stay valid.
+        page.page_type = PageType.DIRECTORY
+        page.entries = children
+        self._mark_dirty(page)
+        # A child may itself overflow when all entries fall into the same
+        # quadrant; subdivide recursively.
+        for entry in children:
+            child = self._page(entry.child)  # type: ignore[arg-type]
+            if len(child.entries) > self.capacity and depth + 1 < self.max_depth:
+                self._subdivide(child, depth + 1)
+
+    # ------------------------------------------------------------------
+    # Deletion
+    # ------------------------------------------------------------------
+
+    def delete(self, mbr: Rect, payload: Any) -> bool:
+        """Remove an object from every quadrant holding a replica.
+
+        Returns ``True`` if at least one replica was removed.  Quadrants
+        are not merged back after deletions (lazy deletion, the common
+        practice for bucket quadtrees); re-inserting into sparse quadrants
+        simply refills them.
+        """
+        removed = False
+        stack = [self.root_id]
+        while stack:
+            page = self._page(stack.pop())
+            if page.page_type is PageType.DIRECTORY:
+                for entry in page.entries:
+                    if entry.mbr.intersects(mbr):
+                        stack.append(entry.child)  # type: ignore[arg-type]
+                continue
+            kept = [
+                entry
+                for entry in page.entries
+                if not (entry.payload == payload and entry.mbr == mbr)
+            ]
+            if len(kept) != len(page.entries):
+                page.entries = kept
+                self._mark_dirty(page)
+                removed = True
+        if removed:
+            self.entry_count -= 1
+        return removed
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def window_query(
+        self, window: Rect, accessor: PageAccessor | None = None
+    ) -> list[Any]:
+        accessor = self._accessor_or_build(accessor)
+        results: list[Any] = []
+        seen: set[Any] = set()
+        stack: list[PageId] = [self.root_id]
+        while stack:
+            page = accessor.fetch(stack.pop())
+            if page.page_type is PageType.DIRECTORY:
+                for entry in page.entries:
+                    if entry.mbr.intersects(window):
+                        stack.append(entry.child)  # type: ignore[arg-type]
+                continue
+            for entry in page.entries:
+                if entry.mbr.intersects(window) and entry.payload not in seen:
+                    seen.add(entry.payload)
+                    results.append(entry.payload)
+        return results
+
+    def point_query(
+        self, point: Point, accessor: PageAccessor | None = None
+    ) -> list[Any]:
+        """Point queries never need de-duplication: quadrants are disjoint.
+
+        (A point on a quadrant boundary may still visit two leaves, so the
+        seen-set is kept for correctness.)
+        """
+        return self.window_query(point.as_rect(), accessor)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> TreeStats:
+        directory = 0
+        data = 0
+        max_level = 0
+        for page_id in self._page_ids:
+            page = self._page(page_id)
+            if page.page_type is PageType.DIRECTORY:
+                directory += 1
+            else:
+                data += 1
+            max_level = max(max_level, self._depths[page_id])
+        return TreeStats(
+            page_count=directory + data,
+            directory_pages=directory,
+            data_pages=data,
+            height=max_level + 1,
+            entry_count=self.entry_count,
+        )
+
+    def all_page_ids(self) -> list[PageId]:
+        return sorted(self._page_ids)

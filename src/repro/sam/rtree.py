@@ -1,0 +1,186 @@
+"""Guttman's original R-tree (SIGMOD 1984), as a baseline SAM.
+
+Differs from the R*-tree in exactly the places Guttman's paper defines:
+
+* **ChooseLeaf** minimises area enlargement at every level (no overlap
+  criterion);
+* node splits use Guttman's **quadratic** (default) or **linear** algorithm
+  instead of the R* margin/overlap split;
+* there is **no forced reinsertion**.
+
+Everything else — deletion with condensation, STR bulk loading, the query
+algorithms, validation — is inherited from :class:`RStarTree`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry.rect import Rect, mbr_of_rects
+from repro.sam.rstar import RStarTree
+from repro.storage.page import Page, PageEntry
+from repro.storage.pagefile import PageFile
+
+
+class RTree(RStarTree):
+    """Guttman R-tree with quadratic or linear split."""
+
+    def __init__(
+        self,
+        pagefile: PageFile | None = None,
+        max_dir_entries: int = 51,
+        max_data_entries: int = 42,
+        min_fill: float = 0.4,
+        split: str = "quadratic",
+    ) -> None:
+        if split not in ("quadratic", "linear"):
+            raise ValueError("split must be 'quadratic' or 'linear'")
+        super().__init__(
+            pagefile,
+            max_dir_entries=max_dir_entries,
+            max_data_entries=max_data_entries,
+            min_fill=min_fill,
+            reinsert_fraction=0.0,  # Guttman trees never reinsert
+        )
+        self.split_algorithm = split
+
+    # ------------------------------------------------------------------
+    # Guttman's ChooseLeaf: least enlargement at every level
+    # ------------------------------------------------------------------
+
+    def _choose_subtree(self, node: Page, mbr: Rect) -> int:
+        best_index = 0
+        best_key: tuple[float, float] | None = None
+        for i, candidate in enumerate(node.entries):
+            key = (candidate.mbr.enlargement(mbr), candidate.mbr.area)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_index = i
+        return best_index
+
+    # ------------------------------------------------------------------
+    # Guttman's splits
+    # ------------------------------------------------------------------
+
+    def _choose_split(
+        self, entries: list[PageEntry], min_entries: int
+    ) -> tuple[list[PageEntry], list[PageEntry]]:
+        if self.split_algorithm == "quadratic":
+            return self._quadratic_split(entries, min_entries)
+        return self._linear_split(entries, min_entries)
+
+    def _quadratic_split(
+        self, entries: list[PageEntry], min_entries: int
+    ) -> tuple[list[PageEntry], list[PageEntry]]:
+        """PickSeeds by maximal dead area, PickNext by maximal preference."""
+        remaining = list(entries)
+        seed_a, seed_b = self._pick_seeds_quadratic(remaining)
+        # Remove the later index first so the earlier one stays valid.
+        for index in sorted((seed_a, seed_b), reverse=True):
+            del remaining[index]
+        group_a = [entries[seed_a]]
+        group_b = [entries[seed_b]]
+        mbr_a = group_a[0].mbr
+        mbr_b = group_b[0].mbr
+        while remaining:
+            # If one group must take all remaining entries to reach the
+            # minimum fill, assign them wholesale (Guttman's rule).
+            if len(group_a) + len(remaining) == min_entries:
+                group_a.extend(remaining)
+                break
+            if len(group_b) + len(remaining) == min_entries:
+                group_b.extend(remaining)
+                break
+            index, prefer_a = self._pick_next(remaining, mbr_a, mbr_b)
+            entry = remaining.pop(index)
+            if prefer_a:
+                group_a.append(entry)
+                mbr_a = mbr_a.union(entry.mbr)
+            else:
+                group_b.append(entry)
+                mbr_b = mbr_b.union(entry.mbr)
+        return group_a, group_b
+
+    @staticmethod
+    def _pick_seeds_quadratic(entries: list[PageEntry]) -> tuple[int, int]:
+        """The pair wasting the most area when put in one node."""
+        best = (0, 1)
+        worst_waste = -math.inf
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                a = entries[i].mbr
+                b = entries[j].mbr
+                waste = a.union(b).area - a.area - b.area
+                if waste > worst_waste:
+                    worst_waste = waste
+                    best = (i, j)
+        return best
+
+    @staticmethod
+    def _pick_next(
+        remaining: list[PageEntry], mbr_a: Rect, mbr_b: Rect
+    ) -> tuple[int, bool]:
+        """Entry with the strongest group preference, and that preference."""
+        best_index = 0
+        best_difference = -math.inf
+        prefer_a = True
+        for i, entry in enumerate(remaining):
+            grow_a = mbr_a.enlargement(entry.mbr)
+            grow_b = mbr_b.enlargement(entry.mbr)
+            difference = abs(grow_a - grow_b)
+            if difference > best_difference:
+                best_difference = difference
+                best_index = i
+                if grow_a != grow_b:
+                    prefer_a = grow_a < grow_b
+                else:
+                    prefer_a = mbr_a.area <= mbr_b.area
+        return best_index, prefer_a
+
+    def _linear_split(
+        self, entries: list[PageEntry], min_entries: int
+    ) -> tuple[list[PageEntry], list[PageEntry]]:
+        """PickSeeds by greatest normalised separation, then greedy assign."""
+        total_mbr = mbr_of_rects(e.mbr for e in entries)
+        best_separation = -math.inf
+        seeds = (0, 1)
+        for axis in ("x", "y"):
+            if axis == "x":
+                width = total_mbr.width or 1.0
+                highest_low = max(range(len(entries)), key=lambda i: entries[i].mbr.x_min)
+                lowest_high = min(range(len(entries)), key=lambda i: entries[i].mbr.x_max)
+                separation = (
+                    entries[highest_low].mbr.x_min - entries[lowest_high].mbr.x_max
+                ) / width
+            else:
+                height = total_mbr.height or 1.0
+                highest_low = max(range(len(entries)), key=lambda i: entries[i].mbr.y_min)
+                lowest_high = min(range(len(entries)), key=lambda i: entries[i].mbr.y_max)
+                separation = (
+                    entries[highest_low].mbr.y_min - entries[lowest_high].mbr.y_max
+                ) / height
+            if separation > best_separation and highest_low != lowest_high:
+                best_separation = separation
+                seeds = (lowest_high, highest_low)
+        if seeds[0] == seeds[1]:  # all entries identical; force two groups
+            seeds = (0, 1)
+        group_a = [entries[seeds[0]]]
+        group_b = [entries[seeds[1]]]
+        mbr_a = group_a[0].mbr
+        mbr_b = group_b[0].mbr
+        rest = [e for i, e in enumerate(entries) if i not in seeds]
+        for position, entry in enumerate(rest):
+            left = len(rest) - position
+            if len(group_a) + left == min_entries:
+                group_a.extend(rest[position:])
+                break
+            if len(group_b) + left == min_entries:
+                group_b.extend(rest[position:])
+                break
+            if mbr_a.enlargement(entry.mbr) <= mbr_b.enlargement(entry.mbr):
+                group_a.append(entry)
+                mbr_a = mbr_a.union(entry.mbr)
+            else:
+                group_b.append(entry)
+                mbr_b = mbr_b.union(entry.mbr)
+        return group_a, group_b

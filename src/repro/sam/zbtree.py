@@ -1,0 +1,430 @@
+"""A B+-tree over z-order values (the PROBE approach, Orenstein/Manola).
+
+The third flavour of spatial page entries named in Section 2.3: objects are
+mapped onto a space-filling curve and stored in an ordinary B+-tree keyed by
+their z-value.  Window queries decompose the window into z-ranges
+(:func:`repro.geometry.zorder.z_region_ranges`) and scan the tree for each
+range, filtering false positives against the actual object MBRs.
+
+Entry MBRs are real geometry, not curve cells: a leaf entry carries the
+object's MBR, an inner entry the MBR of its child's subtree.  The spatial
+replacement criteria therefore work on this index exactly as on the
+R-trees.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable
+
+from repro.geometry.rect import Point, Rect
+from repro.geometry.zorder import DEFAULT_BITS, z_encode, z_region_ranges
+from repro.sam.base import PageAccessor, SpatialIndex, TreeStats
+from repro.storage.page import Page, PageEntry, PageId, PageType
+from repro.storage.pagefile import PageFile
+
+
+class ZBTree(SpatialIndex):
+    """B+-tree on Morton codes of the objects.
+
+    ``multi_cell=False`` (default) stores one entry per object, keyed by
+    the Morton code of its MBR centre — compact, but extended objects are
+    only found by queries overlapping their centre cell.  ``multi_cell=
+    True`` follows the full PROBE approach: every object is stored once
+    per z-curve cell range covering its MBR (bounded by ``cells_per_object``),
+    so window and point queries are exact for extended objects at the cost
+    of duplicated entries (results are de-duplicated).
+    """
+
+    def __init__(
+        self,
+        space: Rect,
+        pagefile: PageFile | None = None,
+        max_entries: int = 42,
+        bits: int = DEFAULT_BITS,
+        max_ranges: int = 48,
+        multi_cell: bool = False,
+        cells_per_object: int = 4,
+    ) -> None:
+        super().__init__(pagefile if pagefile is not None else PageFile())
+        if max_entries < 4:
+            raise ValueError("node capacity must be at least 4")
+        if cells_per_object < 1:
+            raise ValueError("cells_per_object must be positive")
+        self.space = space
+        self.max_entries = max_entries
+        self.bits = bits
+        self.max_ranges = max_ranges
+        self.multi_cell = multi_cell
+        self.cells_per_object = cells_per_object
+        self.entry_count = 0
+        self.height = 0
+        self.root_id: PageId | None = None
+        self._page_ids: set[PageId] = set()
+        # Minimal z-key of every page's subtree, used as the B+-tree
+        # separator (kept off-page: keys are search metadata, MBRs stay on
+        # the page for the replacement policies).
+        self._min_key: dict[PageId, int] = {}
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _key_of(self, mbr: Rect) -> int:
+        return z_encode(mbr.center, self.space, self.bits)
+
+    def _keys_of(self, mbr: Rect) -> list[int]:
+        """All z-keys an object is stored under.
+
+        In multi-cell mode the object's MBR is decomposed into at most
+        ``cells_per_object`` curve ranges and the object is keyed by each
+        range's lower end — the PROBE scheme of storing extended objects
+        as several z-values.
+        """
+        if not self.multi_cell or mbr.area == 0.0:
+            return [self._key_of(mbr)]
+        ranges = z_region_ranges(
+            mbr, self.space, self.bits, max_ranges=self.cells_per_object
+        )
+        if not ranges:
+            return [self._key_of(mbr)]
+        return [lo for lo, _hi in ranges]
+
+    def _ancestor_keys(self, lo: int) -> list[int]:
+        """The z-prefixes of coarser quadrants containing cell ``lo``.
+
+        A stored multi-cell entry may be keyed by a quadrant *larger* than
+        every query range; such entries are only reachable by looking up
+        the query range's ancestor prefixes directly (at most ``bits`` of
+        them) — the classic containment case of z-value indexing.
+        """
+        keys = []
+        for level in range(1, self.bits + 1):
+            mask = (1 << (2 * level)) - 1
+            keys.append(lo & ~mask)
+        return keys
+
+    def _new_page(self, level: int) -> Page:
+        page_type = PageType.DATA if level == 0 else PageType.DIRECTORY
+        page = self.pagefile.allocate(page_type, level)
+        self._page_ids.add(page.page_id)
+        self._register_new_page(page)
+        return page
+
+    @staticmethod
+    def _leaf_key(entry: PageEntry) -> int:
+        """Leaf entries store (z_key, payload) in the payload slot."""
+        return entry.payload[0]
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+
+    def insert(self, mbr: Rect, payload: Any) -> None:
+        self.entry_count += 1
+        for key in self._keys_of(mbr):
+            self._insert_key(key, mbr, payload)
+
+    def _insert_key(self, key: int, mbr: Rect, payload: Any) -> None:
+        entry = PageEntry(mbr=mbr, payload=(key, payload))
+        if self.root_id is None:
+            root = self._new_page(level=0)
+            root.entries.append(entry)
+            self._min_key[root.page_id] = key
+            self.root_id = root.page_id
+            self.height = 1
+            return
+        split = self._insert_recursive(self._root(), key, entry)
+        if split is not None:
+            old_root = self._root()
+            new_root = self._new_page(level=old_root.level + 1)
+            old_mbr = old_root.mbr()
+            assert old_mbr is not None
+            new_root.entries.append(
+                PageEntry(mbr=old_mbr, child=old_root.page_id)
+            )
+            new_root.entries.append(split)
+            self._min_key[new_root.page_id] = self._min_key[old_root.page_id]
+            self.root_id = new_root.page_id
+            self.height += 1
+
+    def _root(self) -> Page:
+        assert self.root_id is not None
+        return self._page(self.root_id)
+
+    def _insert_recursive(
+        self, node: Page, key: int, entry: PageEntry
+    ) -> PageEntry | None:
+        if node.is_leaf:
+            keys = [self._leaf_key(e) for e in node.entries]
+            index = bisect.bisect_right(keys, key)
+            node.entries.insert(index, entry)
+            self._mark_dirty(node)
+            self._min_key[node.page_id] = self._leaf_key(node.entries[0])
+        else:
+            child_index = self._descend_index(node, key)
+            child_entry = node.entries[child_index]
+            child = self._page(child_entry.child)  # type: ignore[arg-type]
+            split = self._insert_recursive(child, key, entry)
+            child_mbr = child.mbr()
+            assert child_mbr is not None
+            node.entries[child_index] = PageEntry(
+                mbr=child_mbr, child=child_entry.child
+            )
+            if split is not None:
+                node.entries.insert(child_index + 1, split)
+            self._mark_dirty(node)
+            self._min_key[node.page_id] = self._min_key[
+                node.entries[0].child  # type: ignore[index]
+            ]
+        if len(node.entries) > self.max_entries:
+            return self._split(node)
+        return None
+
+    def _descend_index(self, node: Page, key: int) -> int:
+        """Index of the child whose key range covers ``key``."""
+        child_keys = [
+            self._min_key[entry.child]  # type: ignore[index]
+            for entry in node.entries
+        ]
+        index = bisect.bisect_right(child_keys, key) - 1
+        return max(index, 0)
+
+    def _split(self, node: Page) -> PageEntry:
+        """Standard B+-tree midpoint split; returns the new sibling entry."""
+        half = len(node.entries) // 2
+        sibling = self._new_page(node.level)
+        sibling.entries = node.entries[half:]
+        node.entries = node.entries[:half]
+        self._mark_dirty(node)
+        if node.is_leaf:
+            self._min_key[sibling.page_id] = self._leaf_key(sibling.entries[0])
+        else:
+            self._min_key[sibling.page_id] = self._min_key[
+                sibling.entries[0].child  # type: ignore[index]
+            ]
+        sibling_mbr = sibling.mbr()
+        assert sibling_mbr is not None
+        return PageEntry(mbr=sibling_mbr, child=sibling.page_id)
+
+    def delete(self, mbr: Rect, payload: Any) -> bool:
+        """Remove the entry with this MBR and payload; True if found.
+
+        Deletion is *lazy* (no merging of under-full leaves), the common
+        choice for B+-trees in practice: page utilisation recovers through
+        subsequent inserts, and empty leaves remain as valid range
+        boundaries.
+        """
+        if self.root_id is None:
+            return False
+        removed_any = False
+        for key in self._keys_of(mbr):
+            if self._delete_key(key, mbr, payload):
+                removed_any = True
+        if removed_any:
+            self.entry_count -= 1
+        return removed_any
+
+    def _delete_key(self, key: int, mbr: Rect, payload: Any) -> bool:
+        max_key = (1 << (2 * self.bits)) - 1
+        # Duplicate keys may span leaf boundaries, so search every leaf
+        # whose (inclusive) key range covers the key, keeping the path for
+        # the ancestor-MBR tightening afterwards.
+        stack: list[list[Page]] = [[self._root()]]
+        while stack:
+            path = stack.pop()
+            node = path[-1]
+            if not node.is_leaf:
+                children = node.entries
+                for i, entry in enumerate(children):
+                    child_lo = self._min_key[entry.child]  # type: ignore[index]
+                    child_hi = (
+                        self._min_key[children[i + 1].child]  # type: ignore[index]
+                        if i + 1 < len(children)
+                        else max_key
+                    )
+                    if child_lo <= key <= child_hi:
+                        stack.append(path + [self._page(entry.child)])  # type: ignore[arg-type]
+                continue
+            for index, entry in enumerate(node.entries):
+                if entry.payload == (key, payload) and entry.mbr == mbr:
+                    del node.entries[index]
+                    self._mark_dirty(node)
+                    if node.entries:
+                        self._min_key[node.page_id] = self._leaf_key(
+                            node.entries[0]
+                        )
+                    child = node
+                    for parent in reversed(path[:-1]):
+                        child_mbr = child.mbr()
+                        for position, parent_entry in enumerate(parent.entries):
+                            if parent_entry.child == child.page_id:
+                                parent.entries[position] = PageEntry(
+                                    mbr=child_mbr
+                                    if child_mbr is not None
+                                    else parent_entry.mbr,
+                                    child=parent_entry.child,
+                                )
+                                self._mark_dirty(parent)
+                                break
+                        child = parent
+                    return True
+        return False
+
+    def bulk_load(self, items: Iterable[tuple[Rect, Any]]) -> None:
+        """Build from scratch by sorted insertion (z-order presort)."""
+        if self.root_id is not None:
+            raise RuntimeError("bulk_load() requires an empty tree")
+        expanded = [
+            (key, mbr, payload)
+            for mbr, payload in items
+            for key in self._keys_of(mbr)
+        ]
+        expanded.sort(key=lambda item: item[0])
+        for key, mbr, payload in expanded:
+            self._insert_key(key, mbr, payload)
+        # entry_count tracks objects, not cell replicas.
+        self.entry_count = len({payload for _k, _m, payload in expanded})
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def window_query(
+        self, window: Rect, accessor: PageAccessor | None = None
+    ) -> list[Any]:
+        if self.root_id is None:
+            return []
+        accessor = self._accessor_or_build(accessor)
+        ranges = z_region_ranges(window, self.space, self.bits, self.max_ranges)
+        results: list[Any] = []
+        for lo, hi in ranges:
+            self._range_scan(accessor, lo, hi, window, results)
+        if self.multi_cell:
+            # Containment case: entries keyed by quadrants coarser than any
+            # query range are found via the ranges' ancestor prefixes.
+            ancestors: set[int] = set()
+            for lo, _hi in ranges:
+                ancestors.update(self._ancestor_keys(lo))
+            for key in sorted(ancestors):
+                self._range_scan(accessor, key, key, window, results)
+            seen: set[Any] = set()
+            unique: list[Any] = []
+            for payload in results:
+                if payload not in seen:
+                    seen.add(payload)
+                    unique.append(payload)
+            return unique
+        return results
+
+    def _range_scan(
+        self,
+        accessor: PageAccessor,
+        lo: int,
+        hi: int,
+        window: Rect,
+        results: list[Any],
+    ) -> None:
+        """Collect window matches among leaf entries with keys in [lo, hi]."""
+        stack: list[PageId] = [self.root_id]  # type: ignore[list-item]
+        while stack:
+            page = accessor.fetch(stack.pop())
+            if page.is_leaf:
+                for entry in page.entries:
+                    key = self._leaf_key(entry)
+                    if lo <= key <= hi and entry.mbr.intersects(window):
+                        results.append(entry.payload[1])
+                continue
+            children = page.entries
+            # The key range of child i is [min_key(i), min_key(i+1)]; the
+            # upper bound is *inclusive* because duplicate keys may span a
+            # leaf boundary (the next leaf's minimum equals the previous
+            # leaf's maximum).
+            for i, entry in enumerate(children):
+                child_lo = self._min_key[entry.child]  # type: ignore[index]
+                child_hi = (
+                    self._min_key[children[i + 1].child]  # type: ignore[index]
+                    if i + 1 < len(children)
+                    else (1 << (2 * self.bits)) - 1
+                )
+                if child_lo <= hi and lo <= child_hi:
+                    stack.append(entry.child)  # type: ignore[arg-type]
+
+    def point_query(
+        self, point: Point, accessor: PageAccessor | None = None
+    ) -> list[Any]:
+        """Objects whose MBR contains the point.
+
+        In multi-cell mode the query is exact (delegates to the enriched
+        window search).  In centre-keyed mode a z-curve index cannot answer
+        containment from the key alone, so the query scans the point's cell
+        and misses extended objects whose centre lies elsewhere — the
+        documented trade-off of single-z-value indexing.
+        """
+        if self.multi_cell:
+            return self.window_query(point.as_rect(), accessor)
+        if self.root_id is None:
+            return []
+        accessor = self._accessor_or_build(accessor)
+        # Extended objects may span many cells; search the whole data space
+        # filtered by containment would touch everything, so use the window
+        # machinery with the point window and accept that objects whose
+        # centre is far away are missed — matching how z-indexed systems
+        # store extended objects as multiple z-values (here: one per
+        # object).  Degenerate window = the point itself.
+        window = point.as_rect()
+        results = []
+        ranges = z_region_ranges(window, self.space, self.bits, self.max_ranges)
+        for lo, hi in ranges:
+            matches: list[Any] = []
+            self._range_scan(accessor, lo, hi, window, matches)
+            results.extend(matches)
+        return results
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> TreeStats:
+        directory = 0
+        data = 0
+        for page_id in self._page_ids:
+            page = self._page(page_id)
+            if page.page_type is PageType.DIRECTORY:
+                directory += 1
+            else:
+                data += 1
+        return TreeStats(
+            page_count=directory + data,
+            directory_pages=directory,
+            data_pages=data,
+            height=self.height,
+            entry_count=self.entry_count,
+        )
+
+    def all_page_ids(self) -> list[PageId]:
+        return sorted(self._page_ids)
+
+    def validate(self) -> None:
+        """Check B+-tree ordering invariants (AssertionError on damage)."""
+        if self.root_id is None:
+            return
+        stack: list[tuple[PageId, int]] = [(self.root_id, self.height - 1)]
+        while stack:
+            page_id, expected_level = stack.pop()
+            page = self._page(page_id)
+            assert page.level == expected_level
+            if page.is_leaf:
+                keys = [self._leaf_key(e) for e in page.entries]
+                assert keys == sorted(keys), f"leaf {page_id} keys out of order"
+                assert self._min_key[page_id] == keys[0]
+                continue
+            child_keys = [
+                self._min_key[entry.child]  # type: ignore[index]
+                for entry in page.entries
+            ]
+            assert child_keys == sorted(child_keys), (
+                f"inner {page_id} separators out of order"
+            )
+            for entry in page.entries:
+                stack.append((entry.child, expected_level - 1))  # type: ignore[arg-type]

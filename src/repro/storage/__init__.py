@@ -1,0 +1,39 @@
+"""Storage substrate: pages, a simulated disk, and page files.
+
+The paper measures the number of disk accesses needed to evaluate spatial
+queries under different buffer-replacement policies.  This package provides
+the measured substrate: self-describing pages (type, tree level, MBRs — the
+metadata the structural and spatial policies consume), a simulated disk that
+counts read/write accesses and can model access latency and inject failures,
+and a page file that handles allocation on top of the disk.
+"""
+
+from repro.storage.disk import DiskError, DiskStats, SimulatedDisk
+from repro.storage.objects import ObjectStore, build_tree_with_objects
+from repro.storage.page import Page, PageEntry, PageId, PageType
+from repro.storage.pagefile import PageFile
+from repro.storage.serialization import (
+    FileDisk,
+    decode_page,
+    encode_page,
+    load_tree,
+    save_tree,
+)
+
+__all__ = [
+    "DiskError",
+    "DiskStats",
+    "SimulatedDisk",
+    "Page",
+    "PageEntry",
+    "PageId",
+    "PageType",
+    "PageFile",
+    "ObjectStore",
+    "build_tree_with_objects",
+    "FileDisk",
+    "encode_page",
+    "decode_page",
+    "save_tree",
+    "load_tree",
+]

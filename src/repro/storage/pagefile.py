@@ -1,0 +1,53 @@
+"""Page allocation on top of the simulated disk.
+
+A :class:`PageFile` hands out dense page ids and creates pages of a given
+type and level.  Spatial access methods build their structure through a page
+file and later read it back through a buffer manager; keeping allocation
+here (rather than in each SAM) gives all indexes identical id behaviour,
+which matters for the disk's sequential-access detection.
+"""
+
+from __future__ import annotations
+
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import Page, PageId, PageType
+
+
+class PageFile:
+    """Allocates, stores and frees pages on a :class:`SimulatedDisk`."""
+
+    def __init__(self, disk: SimulatedDisk | None = None) -> None:
+        self.disk = disk if disk is not None else SimulatedDisk()
+        self._next_id: PageId = 0
+        self._freed: list[PageId] = []
+
+    def allocate(self, page_type: PageType, level: int = 0) -> Page:
+        """Create a new empty page and store it (unaccounted).
+
+        Freed ids are reused in LIFO order, like a freelist in a real
+        storage manager.
+        """
+        if self._freed:
+            page_id = self._freed.pop()
+        else:
+            page_id = self._next_id
+            self._next_id += 1
+        page = Page(page_id=page_id, page_type=page_type, level=level)
+        self.disk.store(page)
+        return page
+
+    def free(self, page_id: PageId) -> None:
+        """Release a page; its id becomes reusable."""
+        if page_id not in self.disk:
+            raise KeyError(f"cannot free unknown page {page_id}")
+        self.disk.delete(page_id)
+        self._freed.append(page_id)
+
+    def store(self, page: Page) -> None:
+        """Persist a page without counting an access (build phase)."""
+        self.disk.store(page)
+
+    @property
+    def page_count(self) -> int:
+        """Number of live pages in the file."""
+        return len(self.disk)

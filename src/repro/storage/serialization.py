@@ -1,0 +1,314 @@
+"""Binary page serialization and a file-backed disk.
+
+The in-memory :class:`~repro.storage.disk.SimulatedDisk` measures access
+counts — all the paper's experiments need.  For durability (saving a built
+index to disk and reopening it later) this module adds a fixed-size binary
+page format and :class:`FileDisk`, a drop-in disk whose pages live in a
+real file, read and written with seeks like a classic slotted-page store.
+
+Format (little-endian), one page per ``page_size`` slot at byte offset
+``page_id * page_size``::
+
+    header:  magic (2s) | version (B) | type (B) | level (h) |
+             entry_count (H) | payload flags per entry follow inline
+    entry:   x_min, y_min, x_max, y_max (4d) | child+1 (q) | payload+1 (q)
+
+Payloads must be integers (object identifiers) or ``None`` — the library's
+indexes only store object ids, and a self-contained format beats pickling
+arbitrary objects.  ``child``/``payload`` are shifted by one so that -1
+encodes ``None`` unambiguously.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from pathlib import Path
+
+from repro.geometry.rect import Rect
+from repro.storage.disk import DiskError, DiskStats, LatencyModel
+from repro.storage.page import Page, PageEntry, PageId, PageType
+
+MAGIC = b"RP"
+VERSION = 1
+
+_HEADER = struct.Struct("<2sBBhH")
+_ENTRY = struct.Struct("<4dqq")
+
+_TYPE_CODES = {PageType.DIRECTORY: 0, PageType.DATA: 1, PageType.OBJECT: 2}
+_CODE_TYPES = {code: page_type for page_type, code in _TYPE_CODES.items()}
+
+
+def max_entries_for(page_size: int) -> int:
+    """How many entries fit into one page of the given byte size."""
+    return (page_size - _HEADER.size) // _ENTRY.size
+
+
+def encode_page(page: Page, page_size: int = 4096) -> bytes:
+    """Serialize a page into exactly ``page_size`` bytes.
+
+    Raises :class:`ValueError` when the page does not fit or a payload is
+    not an integer.
+    """
+    if len(page.entries) > max_entries_for(page_size):
+        raise ValueError(
+            f"page {page.page_id} has {len(page.entries)} entries; "
+            f"at most {max_entries_for(page_size)} fit into "
+            f"{page_size}-byte pages"
+        )
+    out = io.BytesIO()
+    out.write(
+        _HEADER.pack(
+            MAGIC,
+            VERSION,
+            _TYPE_CODES[page.page_type],
+            page.level,
+            len(page.entries),
+        )
+    )
+    for entry in page.entries:
+        payload = entry.payload
+        if payload is not None and not isinstance(payload, int):
+            raise ValueError(
+                "only integer payloads are serializable "
+                f"(page {page.page_id} holds {type(payload).__name__})"
+            )
+        out.write(
+            _ENTRY.pack(
+                entry.mbr.x_min,
+                entry.mbr.y_min,
+                entry.mbr.x_max,
+                entry.mbr.y_max,
+                -1 if entry.child is None else entry.child,
+                -1 if payload is None else payload,
+            )
+        )
+    blob = out.getvalue()
+    return blob + b"\x00" * (page_size - len(blob))
+
+
+def decode_page(blob: bytes, page_id: PageId) -> Page:
+    """Deserialize one page slot; raises :class:`ValueError` on corruption."""
+    if len(blob) < _HEADER.size:
+        raise ValueError(f"page {page_id}: truncated header")
+    magic, version, type_code, level, count = _HEADER.unpack_from(blob, 0)
+    if magic != MAGIC:
+        raise ValueError(f"page {page_id}: bad magic {magic!r}")
+    if version != VERSION:
+        raise ValueError(f"page {page_id}: unsupported version {version}")
+    if type_code not in _CODE_TYPES:
+        raise ValueError(f"page {page_id}: unknown page type {type_code}")
+    needed = _HEADER.size + count * _ENTRY.size
+    if len(blob) < needed:
+        raise ValueError(f"page {page_id}: truncated entries")
+    page = Page(
+        page_id=page_id, page_type=_CODE_TYPES[type_code], level=level
+    )
+    offset = _HEADER.size
+    for _ in range(count):
+        x_min, y_min, x_max, y_max, child, payload = _ENTRY.unpack_from(
+            blob, offset
+        )
+        offset += _ENTRY.size
+        page.entries.append(
+            PageEntry(
+                mbr=Rect(x_min, y_min, x_max, y_max),
+                child=None if child < 0 else child,
+                payload=None if payload < 0 else payload,
+            )
+        )
+    return page
+
+
+class FileDisk:
+    """A page store backed by a real file, with the SimulatedDisk interface.
+
+    Pages occupy fixed-size slots addressed by page id.  Reads decode the
+    slot, writes encode and seek — there is no in-memory page table, so a
+    reopened :class:`FileDisk` serves the pages the previous process
+    stored.  Access counting and failure injection match
+    :class:`~repro.storage.disk.SimulatedDisk`, so buffer managers and
+    indexes work unchanged on either.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        page_size: int = 4096,
+        latency: LatencyModel | None = None,
+    ) -> None:
+        if page_size < _HEADER.size + _ENTRY.size:
+            raise ValueError("page_size too small for even one entry")
+        self.path = Path(path)
+        self.page_size = page_size
+        self._latency = latency or LatencyModel()
+        self._last_read: PageId | None = None
+        self.stats = DiskStats()
+        self.fail_reads: set[PageId] = set()
+        self.fail_writes: set[PageId] = set()
+        #: Ids with a live page in their slot (slot reuse leaves garbage).
+        self._live: set[PageId] = set()
+        # "a+b" must not be used: POSIX append mode forces every write to
+        # the end of the file, ignoring seeks.
+        mode = "r+b" if self.path.exists() else "w+b"
+        self._file = open(self.path, mode)  # noqa: SIM115 - long-lived handle
+        self._scan_existing()
+
+    def _scan_existing(self) -> None:
+        """Discover live pages of an existing file (reopen support)."""
+        self._file.seek(0, io.SEEK_END)
+        size = self._file.tell()
+        for page_id in range(size // self.page_size):
+            self._file.seek(page_id * self.page_size)
+            head = self._file.read(_HEADER.size)
+            if len(head) == _HEADER.size and head[:2] == MAGIC:
+                self._live.add(page_id)
+
+    # ------------------------------------------------------------------
+    # Accounted accesses
+    # ------------------------------------------------------------------
+
+    def read(self, page_id: PageId) -> Page:
+        if page_id in self.fail_reads:
+            raise DiskError(f"injected read failure for page {page_id}")
+        if page_id not in self._live:
+            raise KeyError(f"page {page_id} does not exist on disk")
+        self._file.seek(page_id * self.page_size)
+        blob = self._file.read(self.page_size)
+        self.stats.reads += 1
+        if self._last_read is not None and page_id == self._last_read + 1:
+            self.stats.sequential_reads += 1
+            self.stats.elapsed_ms += self._latency.sequential_ms
+        else:
+            self.stats.random_reads += 1
+            self.stats.elapsed_ms += self._latency.random_ms
+        self._last_read = page_id
+        return decode_page(blob, page_id)
+
+    def write(self, page: Page) -> None:
+        if page.page_id in self.fail_writes:
+            raise DiskError(f"injected write failure for page {page.page_id}")
+        self._store(page)
+        self.stats.writes += 1
+        self.stats.elapsed_ms += self._latency.random_ms
+
+    # ------------------------------------------------------------------
+    # Unaccounted maintenance
+    # ------------------------------------------------------------------
+
+    def _store(self, page: Page) -> None:
+        self._file.seek(page.page_id * self.page_size)
+        self._file.write(encode_page(page, self.page_size))
+        self._live.add(page.page_id)
+
+    def store(self, page: Page) -> None:
+        """Place a page without counting an access (build phase)."""
+        self._store(page)
+
+    def peek(self, page_id: PageId) -> Page:
+        if page_id not in self._live:
+            raise KeyError(f"page {page_id} does not exist on disk")
+        self._file.seek(page_id * self.page_size)
+        return decode_page(self._file.read(self.page_size), page_id)
+
+    def delete(self, page_id: PageId) -> None:
+        if page_id in self._live:
+            self._file.seek(page_id * self.page_size)
+            self._file.write(b"\x00" * self.page_size)
+            self._live.discard(page_id)
+
+    def flush(self) -> None:
+        self._file.flush()
+
+    def close(self) -> None:
+        self._file.flush()
+        self._file.close()
+
+    def __contains__(self, page_id: PageId) -> bool:
+        return page_id in self._live
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def page_ids(self) -> list[PageId]:
+        return sorted(self._live)
+
+    def __enter__(self) -> "FileDisk":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Saving and loading built indexes
+# ----------------------------------------------------------------------
+#
+# SimulatedDisk persists mutations implicitly (pages are shared objects);
+# FileDisk copies on read, so indexes are *built* in memory and then saved.
+# A JSON sidecar next to the page file records the tree metadata that does
+# not live on pages (root id, height, capacities).
+
+
+def save_tree(tree, path: str | Path, page_size: int = 4096) -> None:
+    """Persist a built R-tree: pages to ``path``, metadata to ``path.json``.
+
+    Payloads must be integers (see :func:`encode_page`).
+    """
+    import json
+
+    path = Path(path)
+    if path.exists():
+        path.unlink()
+    with FileDisk(path, page_size=page_size) as disk:
+        for page_id in tree.all_page_ids():
+            disk.store(tree.pagefile.disk.peek(page_id))
+    metadata = {
+        "root_id": tree.root_id,
+        "height": tree.height,
+        "entry_count": tree.entry_count,
+        "max_dir_entries": tree.max_dir_entries,
+        "max_data_entries": tree.max_data_entries,
+        "page_size": page_size,
+    }
+    Path(str(path) + ".json").write_text(json.dumps(metadata), encoding="utf-8")
+
+
+def load_tree(path: str | Path, mutable: bool = False):
+    """Reopen a saved R-tree.
+
+    With ``mutable=False`` (default) the tree reads pages straight from the
+    file; it must be treated as **read-only** — updates would mutate
+    transient page copies.  With ``mutable=True`` all pages are
+    materialised into an in-memory :class:`SimulatedDisk`, giving a fully
+    updatable tree at the cost of loading everything.
+    """
+    import json
+
+    from repro.sam.rstar import RStarTree
+    from repro.storage.disk import SimulatedDisk
+    from repro.storage.pagefile import PageFile
+
+    path = Path(path)
+    metadata = json.loads(Path(str(path) + ".json").read_text(encoding="utf-8"))
+    disk = FileDisk(path, page_size=metadata["page_size"])
+    if mutable:
+        memory = SimulatedDisk()
+        for page_id in disk.page_ids():
+            memory.store(disk.peek(page_id))
+        disk.close()
+        backing = memory
+    else:
+        backing = disk
+    pagefile = PageFile(backing)  # type: ignore[arg-type]
+    pagefile._next_id = (max(backing.page_ids()) + 1) if len(backing) else 0
+    tree = RStarTree(
+        pagefile=pagefile,
+        max_dir_entries=metadata["max_dir_entries"],
+        max_data_entries=metadata["max_data_entries"],
+    )
+    tree.root_id = metadata["root_id"]
+    tree.height = metadata["height"]
+    tree.entry_count = metadata["entry_count"]
+    tree._page_ids = set(backing.page_ids())
+    return tree

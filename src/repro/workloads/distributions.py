@@ -1,0 +1,107 @@
+"""Generators for the paper's five query distributions (Section 3.1).
+
+Window sizes follow the paper's convention: a window of class ``ex`` has an
+x-extension of 1/ex of the data space's x-extension (and the same fraction
+in y).  ``ex = None`` requests point queries.  Windows are centred on the
+sampled location and clipped to the data space.
+
+All generators take an explicit seed and are independent of each other:
+the same place file yields the same similar/intensified/independent sets.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.places import Place
+from repro.datasets.synthetic import Dataset
+from repro.geometry.rect import Point, Rect
+from repro.workloads.queries import PointQuery, Query, WindowQuery
+
+
+def _window_around(center: Point, space: Rect, ex: int) -> WindowQuery:
+    width = space.width / ex
+    height = space.height / ex
+    window = Rect.from_center(center, width, height)
+    clipped = window.clipped(space)
+    assert clipped is not None  # centres are sampled inside the space
+    return WindowQuery(clipped)
+
+
+def _queries_at(
+    locations: list[Point], space: Rect, ex: int | None
+) -> list[Query]:
+    if ex is None:
+        return [PointQuery(location) for location in locations]
+    return [_window_around(location, space, ex) for location in locations]
+
+
+def uniform_queries(
+    space: Rect, count: int, ex: int | None, seed: int
+) -> list[Query]:
+    """U-P / U-W-ex: uniformly distributed locations over the whole space.
+
+    The paper stresses that uniform query objects "cover also the parts of
+    the data space where no objects are stored".
+    """
+    rng = random.Random(seed)
+    locations = [
+        Point(
+            rng.uniform(space.x_min, space.x_max),
+            rng.uniform(space.y_min, space.y_max),
+        )
+        for _ in range(count)
+    ]
+    return _queries_at(locations, space, ex)
+
+
+def identical_queries(
+    dataset: Dataset, count: int, window: bool, seed: int
+) -> list[Query]:
+    """ID-P / ID-W: a random selection of the stored objects themselves.
+
+    For window queries "the size of the objects is maintained": the query
+    window is the selected object's MBR.  Point queries use the object's
+    centre.
+    """
+    rng = random.Random(seed)
+    picks = [rng.randrange(len(dataset.rects)) for _ in range(count)]
+    if window:
+        return [WindowQuery(dataset.rects[i]) for i in picks]
+    return [PointQuery(dataset.rects[i].center) for i in picks]
+
+
+def similar_queries(
+    places: list[Place], space: Rect, count: int, ex: int | None, seed: int
+) -> list[Query]:
+    """S-P / S-W-ex: locations drawn uniformly from the places file."""
+    rng = random.Random(seed)
+    locations = [rng.choice(places).location for _ in range(count)]
+    return _queries_at(locations, space, ex)
+
+
+def intensified_queries(
+    places: list[Place], space: Rect, count: int, ex: int | None, seed: int
+) -> list[Query]:
+    """INT-P / INT-W-ex: places weighted by the square root of population."""
+    rng = random.Random(seed)
+    weights = [place.weight_intensified for place in places]
+    chosen = rng.choices(places, weights=weights, k=count)
+    return _queries_at([place.location for place in chosen], space, ex)
+
+
+def independent_queries(
+    places: list[Place], space: Rect, count: int, ex: int | None, seed: int
+) -> list[Query]:
+    """IND-P / IND-W-ex: similar locations mirrored in x.
+
+    An object in the west of the map queries the east and vice versa; on a
+    mostly-water map (database 2) this sends most queries into empty space.
+    """
+    rng = random.Random(seed)
+    locations = []
+    for _ in range(count):
+        place = rng.choice(places)
+        mirrored_x = space.x_min + (space.x_max - place.location.x)
+        locations.append(Point(mirrored_x, place.location.y))
+    return _queries_at(locations, space, ex)

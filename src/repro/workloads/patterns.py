@@ -1,0 +1,112 @@
+"""Temporal workload patterns beyond the paper's static distributions.
+
+The paper's query sets are stationary; its self-tuning claim, however, is
+about *changing* profiles (Figure 14 concatenates three sets).  This module
+generates richer non-stationary patterns for stress-testing adaptivity:
+
+* :func:`drifting_hotspot` — a hot region that wanders across the map, so
+  the working set moves continuously rather than switching abruptly;
+* :func:`zoom_sequence` — a map-viewer drill-down: windows shrinking
+  around a target (high overlap between consecutive queries);
+* :func:`session_workload` — alternating user sessions, each a burst of
+  overlapping queries around one location (inter-query locality within a
+  session, none across sessions).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.geometry.rect import Point, Rect
+from repro.workloads.queries import Query, WindowQuery
+
+
+def _clipped_window(center: Point, extent: float, space: Rect) -> WindowQuery:
+    window = Rect.from_center(center, extent, extent).clipped(space)
+    if window is None:  # centre outside the space: snap to the border
+        x = min(max(center.x, space.x_min), space.x_max)
+        y = min(max(center.y, space.y_min), space.y_max)
+        window = Rect.from_center(Point(x, y), extent, extent).clipped(space)
+        assert window is not None
+    return WindowQuery(window)
+
+
+def drifting_hotspot(
+    space: Rect,
+    count: int,
+    seed: int = 0,
+    extent: float = 0.03,
+    orbit_radius: float = 0.3,
+    revolutions: float = 1.5,
+    jitter: float = 0.02,
+) -> list[Query]:
+    """Window queries around a hotspot that orbits the map centre.
+
+    The hot region moves a little with every query; policies that adapt
+    (LRU's recency, ASB's knob) follow, while static spatial preferences
+    chase yesterday's hotspot.
+    """
+    rng = random.Random(seed)
+    center = space.center
+    queries: list[Query] = []
+    for index in range(count):
+        angle = 2 * math.pi * revolutions * index / max(1, count)
+        hotspot = Point(
+            center.x + orbit_radius * math.cos(angle) + rng.gauss(0, jitter),
+            center.y + orbit_radius * math.sin(angle) + rng.gauss(0, jitter),
+        )
+        queries.append(_clipped_window(hotspot, extent, space))
+    return queries
+
+
+def zoom_sequence(
+    space: Rect,
+    target: Point,
+    steps: int = 8,
+    start_extent: float = 0.5,
+    shrink: float = 0.6,
+) -> list[Query]:
+    """A drill-down: windows shrinking geometrically around ``target``.
+
+    Every window contains the next one, so the page working set shrinks
+    monotonically — the friendliest possible pattern for any policy that
+    keeps recently used pages.
+    """
+    if steps < 1:
+        raise ValueError("steps must be positive")
+    if not 0.0 < shrink < 1.0:
+        raise ValueError("shrink must be in (0, 1)")
+    queries: list[Query] = []
+    extent = start_extent
+    for _ in range(steps):
+        queries.append(_clipped_window(target, extent, space))
+        extent *= shrink
+    return queries
+
+
+def session_workload(
+    space: Rect,
+    n_sessions: int,
+    queries_per_session: int,
+    seed: int = 0,
+    extent: float = 0.04,
+    wander: float = 0.015,
+) -> list[Query]:
+    """Alternating user sessions, each wandering around its own location.
+
+    Within a session consecutive windows overlap heavily (panning);
+    between sessions there is no locality at all.  The pattern separates
+    policies that exploit short-term locality (LRU-like) from those that
+    bet on long-term structure (spatial criteria).
+    """
+    rng = random.Random(seed)
+    queries: list[Query] = []
+    for _ in range(n_sessions):
+        x = rng.uniform(space.x_min, space.x_max)
+        y = rng.uniform(space.y_min, space.y_max)
+        for _ in range(queries_per_session):
+            x += rng.uniform(-wander, wander)
+            y += rng.uniform(-wander, wander)
+            queries.append(_clipped_window(Point(x, y), extent, space))
+    return queries

@@ -1,0 +1,172 @@
+"""Update workloads: inserts, deletes and moving objects.
+
+The paper's future work names two open questions this module serves:
+"to study the influence of the strategies on updates" (#2) and "the
+management of moving spatial objects in spatiotemporal database systems"
+(#3).  An update stream is a sequence of operations applied to a spatial
+index *through a buffer* (see :meth:`repro.sam.base.SpatialIndex.via`), so
+insert/delete page accesses and dirty-page write-backs are charged to the
+replacement policy like query accesses are.
+
+A *moving-objects* stream models spatiotemporal workloads: each step picks
+a live object and relocates it by a small displacement (delete + insert,
+the standard index maintenance for moving objects), with queries
+interleaved to observe the current positions.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from typing import Any
+
+from repro.datasets.synthetic import Dataset
+from repro.geometry.rect import Rect
+from repro.sam.base import SpatialIndex
+from repro.workloads.queries import Query
+
+
+class UpdateOp(abc.ABC):
+    """One index modification."""
+
+    @abc.abstractmethod
+    def apply(self, index: SpatialIndex) -> None:
+        """Execute against ``index`` (page access via the live accessor)."""
+
+
+@dataclass(frozen=True, slots=True)
+class Insert(UpdateOp):
+    mbr: Rect
+    payload: Any
+
+    def apply(self, index: SpatialIndex) -> None:
+        index.insert(self.mbr, self.payload)
+
+
+@dataclass(frozen=True, slots=True)
+class Delete(UpdateOp):
+    mbr: Rect
+    payload: Any
+
+    def apply(self, index: SpatialIndex) -> None:
+        deleted = index.delete(self.mbr, self.payload)  # type: ignore[attr-defined]
+        if not deleted:
+            raise KeyError(f"object {self.payload!r} not found for deletion")
+
+
+@dataclass(frozen=True, slots=True)
+class Move(UpdateOp):
+    """Relocate an object: delete at the old position, insert at the new."""
+
+    old_mbr: Rect
+    new_mbr: Rect
+    payload: Any
+
+    def apply(self, index: SpatialIndex) -> None:
+        deleted = index.delete(self.old_mbr, self.payload)  # type: ignore[attr-defined]
+        if not deleted:
+            raise KeyError(f"object {self.payload!r} not found for move")
+        index.insert(self.new_mbr, self.payload)
+
+
+def update_stream(
+    dataset: Dataset,
+    count: int,
+    seed: int = 0,
+    insert_fraction: float = 0.4,
+    delete_fraction: float = 0.3,
+    move_displacement: float = 0.01,
+) -> list[UpdateOp]:
+    """A stream of inserts, deletes and moves over a dataset's objects.
+
+    The stream is *self-consistent*: it tracks which objects are live, so
+    deletes and moves always target existing objects and replaying the
+    stream on an index initially containing ``dataset`` never fails.
+    Operations that are neither inserts nor deletes are moves (fraction
+    ``1 - insert_fraction - delete_fraction``), displacing the object by a
+    uniform offset of at most ``move_displacement`` per axis.
+    """
+    if insert_fraction < 0 or delete_fraction < 0:
+        raise ValueError("fractions must be non-negative")
+    if insert_fraction + delete_fraction > 1.0:
+        raise ValueError("insert and delete fractions must sum to at most 1")
+    rng = random.Random(seed)
+    live: dict[int, Rect] = dict(enumerate(dataset.rects))
+    next_id = len(dataset.rects)
+    space = dataset.space
+    ops: list[UpdateOp] = []
+    for _ in range(count):
+        roll = rng.random()
+        if roll < insert_fraction or not live:
+            template = dataset.rects[rng.randrange(len(dataset.rects))]
+            dx = rng.uniform(-0.02, 0.02)
+            dy = rng.uniform(-0.02, 0.02)
+            moved = template.translated(dx, dy).clipped(space)
+            mbr = moved if moved is not None else template
+            ops.append(Insert(mbr=mbr, payload=next_id))
+            live[next_id] = mbr
+            next_id += 1
+        elif roll < insert_fraction + delete_fraction:
+            payload = rng.choice(list(live))
+            ops.append(Delete(mbr=live.pop(payload), payload=payload))
+        else:
+            payload = rng.choice(list(live))
+            old_mbr = live[payload]
+            dx = rng.uniform(-move_displacement, move_displacement)
+            dy = rng.uniform(-move_displacement, move_displacement)
+            moved = old_mbr.translated(dx, dy).clipped(space)
+            new_mbr = moved if moved is not None else old_mbr
+            ops.append(Move(old_mbr=old_mbr, new_mbr=new_mbr, payload=payload))
+            live[payload] = new_mbr
+    return ops
+
+
+def moving_objects_stream(
+    dataset: Dataset,
+    count: int,
+    seed: int = 0,
+    move_displacement: float = 0.005,
+) -> list[UpdateOp]:
+    """A pure movement stream (spatiotemporal scenario, future work #3).
+
+    Every operation relocates one existing object by a small step — the
+    page-access signature of continuously moving objects whose index is
+    kept current by delete/insert pairs.
+    """
+    return update_stream(
+        dataset,
+        count,
+        seed=seed,
+        insert_fraction=0.0,
+        delete_fraction=0.0,
+        move_displacement=move_displacement,
+    )
+
+
+def interleave(
+    queries: list[Query],
+    updates: list[UpdateOp],
+    seed: int = 0,
+) -> list[Query | UpdateOp]:
+    """Shuffle queries and updates into one stream (order-preserving merge).
+
+    The relative order within each input is kept — deletes must not
+    overtake the inserts they depend on — while the interleaving itself is
+    random under the seed.
+    """
+    rng = random.Random(seed)
+    merged: list[Query | UpdateOp] = []
+    query_iter = iter(queries)
+    update_iter = iter(updates)
+    remaining_queries = len(queries)
+    remaining_updates = len(updates)
+    while remaining_queries or remaining_updates:
+        total = remaining_queries + remaining_updates
+        if rng.randrange(total) < remaining_queries:
+            merged.append(next(query_iter))
+            remaining_queries -= 1
+        else:
+            merged.append(next(update_iter))
+            remaining_updates -= 1
+    return merged

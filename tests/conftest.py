@@ -1,0 +1,51 @@
+"""Shared fixtures.
+
+Expensive structures (datasets, bulk-loaded trees) are session-scoped; the
+tests only read them.  Tests that mutate trees build their own.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.places import synthetic_places
+from repro.datasets.synthetic import us_mainland_like, world_atlas_like
+from repro.experiments.harness import build_database
+from repro.geometry.rect import Rect
+from repro.sam.rstar import RStarTree
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small database-1-like dataset (deterministic)."""
+    return us_mainland_like(n_objects=3_000, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_dataset_db2():
+    """A small database-2-like dataset (deterministic)."""
+    return world_atlas_like(n_objects=2_500, seed=12)
+
+
+@pytest.fixture(scope="session")
+def small_places(small_dataset):
+    return synthetic_places(small_dataset, count=200, seed=13)
+
+
+@pytest.fixture(scope="session")
+def small_tree(small_dataset):
+    """A bulk-loaded R*-tree over the small dataset (read-only!)."""
+    tree = RStarTree(max_dir_entries=16, max_data_entries=12)
+    tree.bulk_load(small_dataset.items())
+    return tree
+
+
+@pytest.fixture(scope="session")
+def small_database(small_dataset):
+    """A full Database (tree + places) over the small dataset (read-only!)."""
+    return build_database(small_dataset, n_places=200)
+
+
+@pytest.fixture()
+def unit_space():
+    return Rect(0.0, 0.0, 1.0, 1.0)

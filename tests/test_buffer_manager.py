@@ -1,0 +1,268 @@
+"""Tests for the buffer manager (policy-independent behaviour)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.buffer.manager import BufferFullError, BufferManager
+from repro.buffer.policies.lru import LRU
+from repro.geometry.rect import Rect
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import Page, PageEntry, PageType
+
+
+def make_disk(n_pages=10):
+    disk = SimulatedDisk()
+    for page_id in range(n_pages):
+        page = Page(page_id=page_id, page_type=PageType.DATA)
+        page.entries.append(PageEntry(mbr=Rect(0, 0, 1, 1), payload=page_id))
+        disk.store(page)
+    return disk
+
+
+class TestBasics:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BufferManager(make_disk(), 0, LRU())
+
+    def test_miss_then_hit(self):
+        buffer = BufferManager(make_disk(), 4, LRU())
+        buffer.fetch(0)
+        buffer.fetch(0)
+        assert buffer.stats.misses == 1
+        assert buffer.stats.hits == 1
+        assert buffer.stats.requests == 2
+
+    def test_miss_reads_from_disk(self):
+        disk = make_disk()
+        buffer = BufferManager(disk, 4, LRU())
+        buffer.fetch(3)
+        assert disk.stats.reads == 1
+        buffer.fetch(3)
+        assert disk.stats.reads == 1  # hit: no further disk access
+
+    def test_never_exceeds_capacity(self):
+        buffer = BufferManager(make_disk(), 3, LRU())
+        for page_id in range(10):
+            buffer.fetch(page_id)
+            assert len(buffer) <= 3
+
+    def test_eviction_counted(self):
+        buffer = BufferManager(make_disk(), 2, LRU())
+        for page_id in range(3):
+            buffer.fetch(page_id)
+        assert buffer.stats.evictions == 1
+
+    def test_policy_already_attached_elsewhere_raises(self):
+        policy = LRU()
+        BufferManager(make_disk(), 2, policy)
+        with pytest.raises(RuntimeError):
+            BufferManager(make_disk(), 2, policy)
+
+    def test_contains_and_resident_ids(self):
+        buffer = BufferManager(make_disk(), 4, LRU())
+        buffer.fetch(2)
+        buffer.fetch(5)
+        assert buffer.contains(2)
+        assert not buffer.contains(9)
+        assert buffer.resident_ids() == [2, 5]
+
+
+class TestPinning:
+    def test_pinned_pages_survive_pressure(self):
+        buffer = BufferManager(make_disk(), 2, LRU())
+        buffer.fetch(0)
+        buffer.pin(0)
+        for page_id in range(1, 8):
+            buffer.fetch(page_id)
+        assert buffer.contains(0)
+
+    def test_all_pinned_raises_buffer_full(self):
+        buffer = BufferManager(make_disk(), 2, LRU())
+        buffer.fetch(0)
+        buffer.fetch(1)
+        buffer.pin(0)
+        buffer.pin(1)
+        with pytest.raises(BufferFullError):
+            buffer.fetch(2)
+
+    def test_unpin_restores_evictability(self):
+        buffer = BufferManager(make_disk(), 2, LRU())
+        buffer.fetch(0)
+        buffer.fetch(1)
+        buffer.pin(0)
+        buffer.unpin(0)
+        buffer.fetch(2)  # must not raise
+        assert len(buffer) == 2
+
+    def test_unpin_unpinned_raises(self):
+        buffer = BufferManager(make_disk(), 2, LRU())
+        buffer.fetch(0)
+        with pytest.raises(ValueError):
+            buffer.unpin(0)
+
+    def test_pin_nonresident_raises(self):
+        buffer = BufferManager(make_disk(), 2, LRU())
+        with pytest.raises(KeyError):
+            buffer.pin(0)
+
+    def test_nested_pins(self):
+        buffer = BufferManager(make_disk(), 2, LRU())
+        buffer.fetch(0)
+        buffer.pin(0)
+        buffer.pin(0)
+        buffer.unpin(0)
+        assert buffer.frames[0].pinned  # still pinned once
+        buffer.unpin(0)
+        assert not buffer.frames[0].pinned
+
+
+class TestDirtyPages:
+    def test_writeback_on_eviction(self):
+        disk = make_disk()
+        buffer = BufferManager(disk, 1, LRU())
+        buffer.fetch(0)
+        buffer.mark_dirty(0)
+        buffer.fetch(1)  # evicts page 0
+        assert disk.stats.writes == 1
+        assert buffer.stats.writebacks == 1
+
+    def test_clean_pages_not_written(self):
+        disk = make_disk()
+        buffer = BufferManager(disk, 1, LRU())
+        buffer.fetch(0)
+        buffer.fetch(1)
+        assert disk.stats.writes == 0
+
+    def test_flush_writes_dirty_without_evicting(self):
+        disk = make_disk()
+        buffer = BufferManager(disk, 4, LRU())
+        buffer.fetch(0)
+        buffer.mark_dirty(0)
+        buffer.flush()
+        assert disk.stats.writes == 1
+        assert buffer.contains(0)
+        buffer.flush()  # now clean: no second write
+        assert disk.stats.writes == 1
+
+    def test_mark_dirty_nonresident_raises(self):
+        buffer = BufferManager(make_disk(), 2, LRU())
+        with pytest.raises(KeyError):
+            buffer.mark_dirty(3)
+
+    def test_mark_dirty_invalidates_criteria_cache(self):
+        buffer = BufferManager(make_disk(), 2, LRU())
+        buffer.fetch(0)
+        frame = buffer.frames[0]
+        frame.crit_cache["A"] = 123.0
+        buffer.mark_dirty(0)
+        assert frame.crit_cache == {}
+
+
+class TestClear:
+    def test_clear_empties_and_resets(self):
+        buffer = BufferManager(make_disk(), 4, LRU())
+        buffer.fetch(0)
+        buffer.fetch(1)
+        buffer.mark_dirty(1)
+        buffer.clear()
+        assert len(buffer) == 0
+        assert buffer.stats.requests == 0
+        assert buffer.stats.misses == 0
+
+    def test_clear_flushes_dirty_pages(self):
+        disk = make_disk()
+        buffer = BufferManager(disk, 4, LRU())
+        buffer.fetch(0)
+        buffer.mark_dirty(0)
+        buffer.clear()
+        assert disk.stats.writes == 1
+
+
+class TestQueryScopes:
+    def test_scope_assigns_one_query_id(self):
+        buffer = BufferManager(make_disk(), 4, LRU())
+        with buffer.query_scope() as query_id:
+            buffer.fetch(0)
+            buffer.fetch(1)
+        assert buffer.frames[0].last_query == query_id
+        assert buffer.frames[1].last_query == query_id
+
+    def test_scopes_get_distinct_ids(self):
+        buffer = BufferManager(make_disk(), 4, LRU())
+        with buffer.query_scope() as first:
+            pass
+        with buffer.query_scope() as second:
+            pass
+        assert first != second
+        assert buffer.stats.queries == 2
+
+    def test_unscoped_accesses_are_uncorrelated(self):
+        buffer = BufferManager(make_disk(), 4, LRU())
+        buffer.fetch(0)
+        first = buffer.frames[0].last_query
+        buffer.fetch(0)
+        assert buffer.frames[0].last_query != first
+
+    def test_clock_advances_per_request(self):
+        buffer = BufferManager(make_disk(), 4, LRU())
+        start = buffer.clock
+        buffer.fetch(0)
+        buffer.fetch(0)
+        assert buffer.clock == start + 2
+
+
+class TestInstallAndDiscard:
+    def test_install_charges_no_read(self):
+        disk = make_disk()
+        buffer = BufferManager(disk, 4, LRU())
+        new_page = Page(page_id=99, page_type=PageType.DATA)
+        disk.store(new_page)
+        buffer.install(new_page)
+        assert buffer.contains(99)
+        assert disk.stats.reads == 0
+        assert buffer.frames[99].dirty  # never written: must flush later
+
+    def test_install_evicts_when_full(self):
+        disk = make_disk()
+        buffer = BufferManager(disk, 2, LRU())
+        buffer.fetch(0)
+        buffer.fetch(1)
+        new_page = Page(page_id=99, page_type=PageType.DATA)
+        disk.store(new_page)
+        buffer.install(new_page)
+        assert len(buffer) == 2
+        assert buffer.contains(99)
+
+    def test_discard_drops_without_writeback(self):
+        disk = make_disk()
+        buffer = BufferManager(disk, 4, LRU())
+        buffer.fetch(0)
+        buffer.mark_dirty(0)
+        buffer.discard(0)
+        assert not buffer.contains(0)
+        assert disk.stats.writes == 0  # dead page: no write-back
+
+    def test_discard_nonresident_is_noop(self):
+        buffer = BufferManager(make_disk(), 4, LRU())
+        buffer.discard(7)  # must not raise
+
+    def test_discard_pinned_raises(self):
+        buffer = BufferManager(make_disk(), 4, LRU())
+        buffer.fetch(0)
+        buffer.pin(0)
+        with pytest.raises(RuntimeError):
+            buffer.discard(0)
+
+    def test_install_replaces_stale_frame_for_reused_id(self):
+        """The deallocation bug regression: after free + id reuse, the
+        buffer must serve the NEW page, not the stale frame."""
+        disk = make_disk()
+        buffer = BufferManager(disk, 4, LRU())
+        old = buffer.fetch(0)
+        buffer.discard(0)
+        replacement = Page(page_id=0, page_type=PageType.DIRECTORY, level=2)
+        disk.store(replacement)
+        buffer.install(replacement)
+        assert buffer.fetch(0) is replacement
+        assert buffer.fetch(0) is not old

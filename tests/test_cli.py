@@ -1,0 +1,162 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import POLICY_FACTORIES, main
+
+
+class TestFigureCommand:
+    def test_single_figure(self, capsys):
+        code = main(
+            ["figure", "14", "--objects", "2000", "--queries", "30"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 14" in out
+        assert "candidate set" in out
+
+    def test_unknown_figure(self, capsys):
+        code = main(["figure", "99", "--objects", "2000"])
+        assert code == 2
+        assert "no such figure" in capsys.readouterr().err
+
+    def test_zero_padded_number_accepted(self, capsys):
+        code = main(["figure", "07", "--objects", "2000", "--queries", "20"])
+        assert code == 0
+        assert "Figure 7" in capsys.readouterr().out
+
+
+class TestDatasetCommand:
+    def test_describe_db1(self, capsys):
+        assert main(["dataset", "db1", "--objects", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "us-mainland-like" in out
+        assert "3000 objects" in out
+
+    def test_describe_db2(self, capsys):
+        assert main(["dataset", "db2", "--objects", "3000"]) == 0
+        assert "world-atlas-like" in capsys.readouterr().out
+
+
+class TestTraceAndReplay:
+    def test_record_then_replay(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        code = main(
+            [
+                "trace",
+                "--set",
+                "U-W-100",
+                "--out",
+                str(trace_path),
+                "--objects",
+                "3000",
+                "--queries",
+                "30",
+            ]
+        )
+        assert code == 0
+        assert trace_path.exists()
+        assert "recorded" in capsys.readouterr().out
+
+        code = main(
+            ["replay", str(trace_path), "--policy", "ASB", "--capacity", "24"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ASB @ 24 pages" in out
+        assert "disk reads" in out
+
+    def test_replay_all_policies_accepted(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        main(
+            [
+                "trace",
+                "--out",
+                str(trace_path),
+                "--objects",
+                "2000",
+                "--queries",
+                "15",
+            ]
+        )
+        capsys.readouterr()
+        for policy in sorted(POLICY_FACTORIES):
+            assert (
+                main(["replay", str(trace_path), "--policy", policy]) == 0
+            ), policy
+        assert capsys.readouterr().out.count("disk reads") == len(
+            POLICY_FACTORIES
+        )
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_module_entrypoint_importable(self):
+        import repro.__main__  # noqa: F401
+
+
+class TestAdviseCommand:
+    def test_advise_on_recorded_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        main(
+            [
+                "trace",
+                "--set",
+                "S-W-100",
+                "--out",
+                str(trace_path),
+                "--objects",
+                "3000",
+                "--queries",
+                "40",
+            ]
+        )
+        capsys.readouterr()
+        assert main(["advise", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "recommended policy" in out
+        assert "OPT" in out
+
+
+class TestMapCommand:
+    def test_render_dataset(self, capsys):
+        assert main(["map", "db1", "--objects", "2000", "--width", "30",
+                     "--height", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "object density" in out
+        assert out.count("|") >= 20  # borders of 10 rows
+
+    def test_render_with_query_set(self, capsys):
+        assert main(
+            ["map", "db1", "--objects", "2000", "--set", "INT-P",
+             "--queries", "50", "--width", "30", "--height", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "query density of INT-P" in out
+
+
+class TestReproduceCommand:
+    def test_figures_only_run(self, tmp_path, capsys):
+        code = main(
+            [
+                "reproduce",
+                "--out",
+                str(tmp_path / "report"),
+                "--objects",
+                "2000",
+                "--queries",
+                "25",
+                "--figures-only",
+            ]
+        )
+        assert code == 0
+        report = (tmp_path / "report" / "REPORT.md").read_text()
+        assert "Figure 13" in report
+        assert (tmp_path / "report" / "figure_14.txt").exists()
+        out = capsys.readouterr().out
+        assert "running figure_04" in out

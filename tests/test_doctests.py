@@ -1,0 +1,16 @@
+"""Run the doctests embedded in module docstrings."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.workloads.sets
+
+
+@pytest.mark.parametrize("module", [repro.workloads.sets])
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0

@@ -1,0 +1,122 @@
+"""Tests for the z-order curve."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.rect import Point, Rect
+from repro.geometry.zorder import (
+    _deinterleave,
+    _interleave,
+    quantise,
+    z_decode,
+    z_encode,
+    z_region_ranges,
+)
+
+SPACE = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+class TestInterleave:
+    @given(st.integers(min_value=0, max_value=(1 << 16) - 1))
+    def test_roundtrip(self, value):
+        assert _deinterleave(_interleave(value, 16), 16) == value
+
+    def test_known_values(self):
+        assert _interleave(0b11, 2) == 0b0101
+        assert _interleave(0b10, 2) == 0b0100
+
+
+class TestQuantise:
+    def test_bounds(self):
+        assert quantise(0.0, 0.0, 1.0, bits=4) == 0
+        assert quantise(1.0, 0.0, 1.0, bits=4) == 15
+
+    def test_clamps_out_of_range(self):
+        assert quantise(-5.0, 0.0, 1.0, bits=4) == 0
+        assert quantise(5.0, 0.0, 1.0, bits=4) == 15
+
+    def test_invalid_range_raises(self):
+        with pytest.raises(ValueError):
+            quantise(0.5, 1.0, 0.0)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_in_grid(self, value):
+        cell = quantise(value, 0.0, 1.0, bits=8)
+        assert 0 <= cell < 256
+
+
+class TestEncodeDecode:
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_decode_cell_contains_point(self, x, y):
+        point = Point(x, y)
+        code = z_encode(point, SPACE, bits=8)
+        cell = z_decode(code, SPACE, bits=8)
+        # The cell is a half-open grid box; tolerate the closed-boundary
+        # convention of Rect by a tiny epsilon.
+        assert cell.x_min - 1e-9 <= x <= cell.x_max + 1e-9
+        assert cell.y_min - 1e-9 <= y <= cell.y_max + 1e-9
+
+    def test_z_locality_of_origin(self):
+        assert z_encode(Point(0.0, 0.0), SPACE, bits=8) == 0
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_code_in_range(self, x, y):
+        code = z_encode(Point(x, y), SPACE, bits=8)
+        assert 0 <= code < (1 << 16)
+
+
+class TestRegionRanges:
+    def test_full_space_is_one_range(self):
+        ranges = z_region_ranges(SPACE, SPACE, bits=8)
+        assert ranges == [(0, (1 << 16) - 1)]
+
+    def test_outside_space_is_empty(self):
+        window = Rect(2.0, 2.0, 3.0, 3.0)
+        assert z_region_ranges(window, SPACE, bits=8) == []
+
+    def test_ranges_sorted_and_disjoint(self):
+        window = Rect(0.1, 0.3, 0.4, 0.7)
+        ranges = z_region_ranges(window, SPACE, bits=8)
+        assert ranges
+        for (lo1, hi1), (lo2, hi2) in zip(ranges, ranges[1:]):
+            assert lo1 <= hi1
+            assert hi1 + 1 < lo2  # merged ranges never touch
+
+    @given(
+        st.floats(min_value=0.0, max_value=0.9),
+        st.floats(min_value=0.0, max_value=0.9),
+        st.floats(min_value=0.01, max_value=0.1),
+    )
+    def test_ranges_cover_window_points(self, x, y, size):
+        """Soundness: every point of the window encodes into some range."""
+        window = Rect(x, y, min(x + size, 1.0), min(y + size, 1.0))
+        ranges = z_region_ranges(window, SPACE, bits=6)
+        samples = [
+            window.center,
+            Point(window.x_min, window.y_min),
+            Point(window.x_max, window.y_max),
+        ]
+        for sample in samples:
+            code = z_encode(sample, SPACE, bits=6)
+            assert any(lo <= code <= hi for lo, hi in ranges), (
+                f"point {sample} (code {code}) escaped ranges {ranges}"
+            )
+
+    def test_budget_produces_coarser_ranges(self):
+        window = Rect(0.05, 0.05, 0.95, 0.95)
+        fine = z_region_ranges(window, SPACE, bits=8, max_ranges=64)
+        coarse = z_region_ranges(window, SPACE, bits=8, max_ranges=4)
+        assert len(coarse) <= len(fine)
+        # Coarser decomposition must still cover everything the fine one does.
+        covered = sum(hi - lo + 1 for lo, hi in coarse)
+        fine_covered = sum(hi - lo + 1 for lo, hi in fine)
+        assert covered >= fine_covered

@@ -1,0 +1,285 @@
+"""Tests for ASB, the adaptable spatial buffer (Section 4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.buffer.manager import BufferManager
+from repro.buffer.policies.asb import ASB
+from repro.buffer.policies.slru import SLRU
+from repro.geometry.rect import Rect
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import Page, PageEntry, PageType
+
+
+def square_disk(areas):
+    """Page i holds one square entry with the i-th area."""
+    disk = SimulatedDisk()
+    for page_id, area in enumerate(areas):
+        side = area**0.5
+        page = Page(page_id=page_id, page_type=PageType.DATA)
+        page.entries.append(PageEntry(mbr=Rect(0, 0, side, side), payload=page_id))
+        disk.store(page)
+    return disk
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ASB(criterion="nope")
+        with pytest.raises(ValueError):
+            ASB(overflow_fraction=1.0)
+        with pytest.raises(ValueError):
+            ASB(overflow_fraction=-0.1)
+        with pytest.raises(ValueError):
+            ASB(initial_fraction=0.0)
+        with pytest.raises(ValueError):
+            ASB(step_fraction=0.0)
+
+    def test_capacity_split(self):
+        policy = ASB(overflow_fraction=0.2)
+        BufferManager(square_disk([1.0] * 20), 10, policy)
+        assert policy.overflow_capacity == 2
+        assert policy.main_capacity == 8
+
+    def test_default_initial_candidate_is_quarter_of_main(self):
+        policy = ASB(overflow_fraction=0.2, initial_fraction=0.25)
+        BufferManager(square_disk([1.0] * 30), 20, policy)
+        assert policy.main_capacity == 16
+        assert policy.candidate_size == 4
+
+    def test_tiny_buffer_keeps_main_nonempty(self):
+        policy = ASB(overflow_fraction=0.2)
+        BufferManager(square_disk([1.0] * 5), 2, policy)
+        assert policy.main_capacity >= 1
+
+
+class TestTwoPartMechanics:
+    def test_demotion_fills_overflow(self):
+        # capacity 4, overflow 2, main 2 — and candidate set of 1 (pure LRU
+        # demotion) to make the demotion order predictable.
+        policy = ASB(overflow_fraction=0.5, initial_fraction=0.01)
+        buffer = BufferManager(square_disk([100.0, 1.0, 50.0, 2.0]), 4, policy)
+        buffer.fetch(0)
+        buffer.fetch(1)
+        assert policy.main_size == 2
+        assert policy.overflow_size == 0
+        buffer.fetch(2)  # main full: LRU-oldest (0) demoted to overflow
+        assert policy.overflow_ids() == [0]
+        assert policy.main_size == 2
+        buffer.fetch(3)
+        assert policy.overflow_ids() == [0, 1]
+
+    def test_true_eviction_is_overflow_fifo_head(self):
+        policy = ASB(overflow_fraction=0.5, initial_fraction=0.01)
+        buffer = BufferManager(
+            square_disk([100.0, 1.0, 50.0, 2.0, 7.0, 3.0]), 4, policy
+        )
+        for page_id in range(4):
+            buffer.fetch(page_id)
+        assert policy.overflow_ids() == [0, 1]
+        buffer.fetch(4)  # buffer full: the FIFO head (page 0) leaves memory
+        assert not buffer.contains(0)
+        assert buffer.contains(1)
+        buffer.fetch(5)
+        assert not buffer.contains(1)
+
+    def test_overflow_hit_counts_as_buffer_hit(self):
+        """The overflow buffer is buffer memory: finding a page there must
+        not cost a disk access."""
+        policy = ASB(overflow_fraction=0.5, initial_fraction=0.01)
+        disk = square_disk([100.0, 1.0, 50.0, 2.0])
+        buffer = BufferManager(disk, 4, policy)
+        for page_id in range(4):
+            buffer.fetch(page_id)
+        reads_before = disk.stats.reads
+        buffer.fetch(0)  # page 0 sits in the overflow buffer
+        assert disk.stats.reads == reads_before
+        assert buffer.stats.hits == 1
+
+    def test_promotion_moves_page_to_main(self):
+        policy = ASB(overflow_fraction=0.5, initial_fraction=0.01)
+        buffer = BufferManager(square_disk([100.0, 1.0, 50.0, 2.0]), 4, policy)
+        for page_id in range(4):
+            buffer.fetch(page_id)
+        assert 0 in policy.overflow_ids()
+        buffer.fetch(0)
+        assert 0 not in policy.overflow_ids()
+        assert policy.main_size == 2  # someone else was demoted to make room
+        assert policy.overflow_size == 2
+
+    def test_membership_partition_invariant(self):
+        policy = ASB(overflow_fraction=0.4)
+        buffer = BufferManager(square_disk([float(i + 1) for i in range(12)]), 5, policy)
+        pattern = [0, 1, 2, 3, 4, 5, 2, 6, 0, 7, 8, 1, 9, 10, 3, 11, 4]
+        for page_id in pattern:
+            buffer.fetch(page_id)
+            resident = set(buffer.frames)
+            assert set(policy.overflow_ids()).issubset(resident)
+            assert policy.main_size + policy.overflow_size == len(resident)
+            assert len(buffer) <= 5
+
+
+class TestAdaptation:
+    def _buffer(self):
+        """Build an ASB whose overflow holds [0 (area 50, old), 2 (area 1, new)].
+
+        capacity 6 -> overflow 3, main 3; initial candidate set = 2 of 3;
+        step = 1.  Demotions: with main = {0, 1, 2} full, loading 3 demotes
+        the smaller of the two LRU-oldest {0, 1} -> page 0 (area 50);
+        loading 4 demotes the smaller of {1, 2} -> page 2 (area 1).
+        """
+        policy = ASB(
+            overflow_fraction=0.5,
+            initial_fraction=0.67,
+            step_fraction=0.34,
+        )
+        disk = square_disk([50.0, 100.0, 1.0, 60.0, 70.0])
+        buffer = BufferManager(disk, 6, policy)
+        for page_id in range(5):
+            buffer.fetch(page_id)
+        assert policy.candidate_size == 2
+        assert policy.overflow_ids() == [0, 2]
+        return policy, buffer
+
+    def test_spatial_mispredicted_shrinks_candidate_set(self):
+        policy, buffer = self._buffer()
+        # Hit page 2: the other overflow page (0) has a better (larger)
+        # spatial criterion but a worse (older) LRU criterion -> case 1:
+        # LRU looks more suitable, the candidate set shrinks.
+        buffer.fetch(2)
+        assert policy.candidate_size == 1
+
+    def test_lru_mispredicted_grows_candidate_set(self):
+        policy, buffer = self._buffer()
+        # Hit page 0: the other overflow page (2) is more recent (better
+        # LRU) but spatially smaller (worse criterion) -> case 2: the
+        # spatial strategy looks more suitable, the candidate set grows.
+        buffer.fetch(0)
+        assert policy.candidate_size == 3
+
+    def test_tie_keeps_candidate_set(self):
+        # Make the other overflow page better on BOTH criteria: counts tie.
+        policy = ASB(
+            overflow_fraction=0.5, initial_fraction=0.5, step_fraction=0.5
+        )
+        disk = square_disk([1.0, 100.0, 50.0, 2.0])
+        buffer = BufferManager(disk, 4, policy)
+        for page_id in range(4):
+            buffer.fetch(page_id)
+        assert policy.overflow_ids() == [0, 1]
+        before = policy.candidate_size
+        # Hit page 0: page 1 is newer (better LRU) AND larger (better
+        # spatial) -> 1 == 1, no change.
+        buffer.fetch(0)
+        assert policy.candidate_size == before
+
+    def test_candidate_size_clamped_to_bounds(self):
+        policy, buffer = self._buffer()
+        # Two shrinks in a row: the second one is clamped at 1.
+        buffer.fetch(2)
+        assert policy.candidate_size == 1
+        overflow = policy.overflow_ids()
+        # Promote whatever sits in overflow repeatedly; the knob must stay
+        # within [1, main_capacity] regardless of direction.
+        for _ in range(6):
+            overflow = policy.overflow_ids()
+            if not overflow:
+                break
+            buffer.fetch(overflow[-1])
+            assert 1 <= policy.candidate_size <= policy.main_capacity
+
+    def test_trace_records_adaptations(self):
+        policy = ASB(
+            overflow_fraction=0.5,
+            initial_fraction=1.0,
+            step_fraction=0.5,
+            record_trace=True,
+        )
+        buffer = BufferManager(square_disk([100.0, 1.0, 50.0, 2.0]), 4, policy)
+        for page_id in range(4):
+            buffer.fetch(page_id)
+        buffer.fetch(1)
+        assert policy.trace
+        clock, size = policy.trace[-1]
+        assert size == policy.candidate_size
+
+
+class TestDegenerationAndReset:
+    def test_zero_overflow_behaves_like_slru(self):
+        areas = [9.0, 4.0, 25.0, 1.0, 16.0, 36.0, 2.0, 49.0]
+        pattern = [0, 1, 2, 0, 3, 4, 1, 5, 2, 0, 6, 4, 3, 7, 5, 1]
+
+        def run(policy):
+            buffer = BufferManager(square_disk(areas), 4, policy)
+            for page_id in pattern:
+                buffer.fetch(page_id)
+            return buffer.resident_ids(), buffer.stats.misses
+
+        asb = ASB(overflow_fraction=0.0, initial_fraction=0.25)
+        slru = SLRU(fraction=0.25)
+        assert run(asb) == run(slru)
+
+    def test_no_state_for_evicted_pages(self):
+        """Unlike LRU-K, ASB keeps nothing about pages that left memory."""
+        policy = ASB(overflow_fraction=0.4)
+        buffer = BufferManager(square_disk([float(i + 1) for i in range(30)]), 5, policy)
+        for page_id in range(30):
+            buffer.fetch(page_id)
+        assert policy.main_size + policy.overflow_size == len(buffer)
+        assert policy.main_size + policy.overflow_size <= 5
+
+    def test_reset_restores_initial_knob(self):
+        policy = ASB(
+            overflow_fraction=0.5, initial_fraction=0.67, step_fraction=0.34
+        )
+        buffer = BufferManager(
+            square_disk([50.0, 100.0, 1.0, 60.0, 70.0]), 6, policy
+        )
+        for page_id in range(5):
+            buffer.fetch(page_id)
+        buffer.fetch(2)  # shrink (see TestAdaptation for the construction)
+        assert policy.candidate_size == 1
+        buffer.clear()
+        assert policy.candidate_size == 2
+        assert policy.main_size == 0
+        assert policy.overflow_size == 0
+
+    def test_pinned_pages_never_evicted(self):
+        policy = ASB(overflow_fraction=0.4)
+        buffer = BufferManager(square_disk([float(i + 1) for i in range(20)]), 5, policy)
+        buffer.fetch(0)
+        buffer.pin(0)
+        for page_id in range(1, 20):
+            buffer.fetch(page_id)
+        assert buffer.contains(0)
+
+
+class TestInstallDiscardIntegration:
+    def test_installed_pages_join_the_main_part(self):
+        policy = ASB(overflow_fraction=0.4)
+        disk = square_disk([float(i + 1) for i in range(10)])
+        buffer = BufferManager(disk, 5, policy)
+        from repro.storage.page import Page, PageEntry, PageType
+        from repro.geometry.rect import Rect
+
+        fresh = Page(page_id=99, page_type=PageType.DATA)
+        fresh.entries.append(PageEntry(mbr=Rect(0, 0, 2, 2), payload=99))
+        disk.store(fresh)
+        buffer.install(fresh)
+        assert 99 not in policy.overflow_ids()
+        assert policy.main_size + policy.overflow_size == len(buffer)
+
+    def test_discard_cleans_policy_state(self):
+        policy = ASB(overflow_fraction=0.5, initial_fraction=0.01)
+        disk = square_disk([100.0, 1.0, 50.0, 2.0])
+        buffer = BufferManager(disk, 4, policy)
+        for page_id in range(4):
+            buffer.fetch(page_id)
+        overflow_head = policy.overflow_ids()[0]
+        buffer.discard(overflow_head)
+        assert overflow_head not in policy.overflow_ids()
+        assert policy.main_size + policy.overflow_size == len(buffer)
+        # Buffer keeps operating normally afterwards.
+        buffer.fetch(overflow_head)
+        assert buffer.contains(overflow_head)

@@ -1,0 +1,179 @@
+"""Tests for the baseline policies: LRU, FIFO, CLOCK, LFU, MRU, RANDOM."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.buffer.manager import BufferManager
+from repro.buffer.policies.clock import Clock
+from repro.buffer.policies.fifo import FIFO
+from repro.buffer.policies.lfu import LFU
+from repro.buffer.policies.lru import LRU
+from repro.buffer.policies.mru import MRU
+from repro.buffer.policies.random_policy import RandomPolicy
+from repro.geometry.rect import Rect
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import Page, PageEntry, PageType
+
+
+def make_disk(n_pages=12):
+    disk = SimulatedDisk()
+    for page_id in range(n_pages):
+        page = Page(page_id=page_id, page_type=PageType.DATA)
+        page.entries.append(PageEntry(mbr=Rect(0, 0, 1, 1), payload=page_id))
+        disk.store(page)
+    return disk
+
+
+def make_buffer(policy, capacity=3):
+    return BufferManager(make_disk(), capacity, policy)
+
+
+class TestLRU:
+    def test_evicts_least_recently_used(self):
+        buffer = make_buffer(LRU())
+        buffer.fetch(0)
+        buffer.fetch(1)
+        buffer.fetch(2)
+        buffer.fetch(0)  # renew page 0; page 1 is now LRU
+        buffer.fetch(3)
+        assert not buffer.contains(1)
+        assert buffer.contains(0)
+
+    def test_sequential_scan_evicts_in_order(self):
+        buffer = make_buffer(LRU())
+        for page_id in range(6):
+            buffer.fetch(page_id)
+        assert buffer.resident_ids() == [3, 4, 5]
+
+    def test_repeated_hits_never_evict(self):
+        buffer = make_buffer(LRU(), capacity=1)
+        for _ in range(5):
+            buffer.fetch(0)
+        assert buffer.stats.misses == 1
+        assert buffer.stats.hits == 4
+
+
+class TestFIFO:
+    def test_evicts_oldest_load_despite_hits(self):
+        buffer = make_buffer(FIFO())
+        buffer.fetch(0)
+        buffer.fetch(1)
+        buffer.fetch(2)
+        buffer.fetch(0)  # hit must NOT save page 0 under FIFO
+        buffer.fetch(3)
+        assert not buffer.contains(0)
+        assert buffer.contains(1)
+
+
+class TestClock:
+    def test_second_chance_saves_referenced_page(self):
+        buffer = make_buffer(Clock())
+        buffer.fetch(0)
+        buffer.fetch(1)
+        buffer.fetch(2)
+        buffer.fetch(0)  # sets the reference bit of page 0
+        buffer.fetch(3)
+        # The hand clears 0's bit (second chance) and evicts page 1.
+        assert buffer.contains(0)
+        assert not buffer.contains(1)
+
+    def test_sweep_degenerates_to_fifo_without_hits(self):
+        buffer = make_buffer(Clock())
+        for page_id in range(5):
+            buffer.fetch(page_id)
+        assert buffer.resident_ids() == [2, 3, 4]
+
+    def test_survives_many_evictions(self):
+        buffer = make_buffer(Clock(), capacity=4)
+        for page_id in [0, 1, 2, 3, 0, 4, 5, 1, 6, 7, 8, 0, 9]:
+            buffer.fetch(page_id)
+        assert len(buffer) == 4
+
+    def test_reset_clears_ring(self):
+        policy = Clock()
+        buffer = make_buffer(policy)
+        buffer.fetch(0)
+        buffer.clear()
+        buffer.fetch(1)
+        buffer.fetch(2)
+        buffer.fetch(3)
+        buffer.fetch(4)
+        assert len(buffer) == 3
+
+
+class TestLFU:
+    def test_evicts_least_frequent(self):
+        buffer = make_buffer(LFU())
+        buffer.fetch(0)
+        buffer.fetch(0)
+        buffer.fetch(1)
+        buffer.fetch(1)
+        buffer.fetch(2)  # page 2 has count 1
+        buffer.fetch(3)
+        assert not buffer.contains(2)
+
+    def test_frequency_ties_fall_to_lru(self):
+        buffer = make_buffer(LFU())
+        buffer.fetch(0)
+        buffer.fetch(1)
+        buffer.fetch(2)
+        buffer.fetch(3)  # all counts 1; LRU victim is page 0
+        assert not buffer.contains(0)
+
+
+class TestMRU:
+    def test_evicts_most_recent(self):
+        buffer = make_buffer(MRU())
+        buffer.fetch(0)
+        buffer.fetch(1)
+        buffer.fetch(2)
+        buffer.fetch(3)
+        # Page 2 was the most recently touched when 3 missed.
+        assert not buffer.contains(2)
+        assert buffer.contains(0)
+
+
+class TestRandom:
+    def test_deterministic_under_seed(self):
+        def run(seed):
+            buffer = make_buffer(RandomPolicy(seed=seed))
+            for page_id in [0, 1, 2, 3, 4, 5, 1, 6, 7]:
+                buffer.fetch(page_id)
+            return buffer.resident_ids()
+
+        assert run(7) == run(7)
+
+    def test_reset_restores_sequence(self):
+        policy = RandomPolicy(seed=3)
+        buffer = make_buffer(policy)
+        for page_id in range(6):
+            buffer.fetch(page_id)
+        first = buffer.resident_ids()
+        buffer.clear()
+        for page_id in range(6):
+            buffer.fetch(page_id)
+        assert buffer.resident_ids() == first
+
+    def test_respects_pins(self):
+        buffer = make_buffer(RandomPolicy(seed=1), capacity=2)
+        buffer.fetch(0)
+        buffer.pin(0)
+        for page_id in range(1, 9):
+            buffer.fetch(page_id)
+        assert buffer.contains(0)
+
+
+class TestVictimUniverse:
+    @pytest.mark.parametrize(
+        "policy_factory",
+        [LRU, FIFO, Clock, LFU, MRU, lambda: RandomPolicy(seed=5)],
+        ids=["LRU", "FIFO", "CLOCK", "LFU", "MRU", "RANDOM"],
+    )
+    def test_capacity_respected_under_churn(self, policy_factory):
+        buffer = make_buffer(policy_factory(), capacity=4)
+        pattern = [0, 1, 2, 3, 4, 1, 5, 2, 6, 0, 7, 8, 3, 9, 10, 11, 4, 5]
+        for page_id in pattern:
+            buffer.fetch(page_id)
+            assert len(buffer) <= 4
+        assert buffer.stats.requests == len(pattern)

@@ -1,0 +1,241 @@
+"""Tests for the literature competitors: 2Q, ARC, GCLOCK, domain separation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.buffer.manager import BufferManager
+from repro.buffer.policies.arc import ARC
+from repro.buffer.policies.domain_separation import DomainSeparation
+from repro.buffer.policies.gclock import GClock, type_weight
+from repro.buffer.policies.two_q import TwoQ
+from repro.geometry.rect import Rect
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import Page, PageEntry, PageType
+
+
+def make_disk(n_pages=24, page_type=PageType.DATA):
+    disk = SimulatedDisk()
+    for page_id in range(n_pages):
+        page = Page(page_id=page_id, page_type=page_type)
+        page.entries.append(PageEntry(mbr=Rect(0, 0, 1, 1), payload=page_id))
+        disk.store(page)
+    return disk
+
+
+def typed_disk():
+    disk = SimulatedDisk()
+    specs = (
+        [(i, PageType.OBJECT, -1) for i in range(8)]
+        + [(i, PageType.DATA, 0) for i in range(8, 16)]
+        + [(i, PageType.DIRECTORY, 1) for i in range(16, 24)]
+    )
+    for page_id, page_type, level in specs:
+        page = Page(page_id=page_id, page_type=page_type, level=level)
+        page.entries.append(PageEntry(mbr=Rect(0, 0, 1, 1), payload=page_id))
+        disk.store(page)
+    return disk
+
+
+class TestTwoQ:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            TwoQ(kin_fraction=0.0)
+        with pytest.raises(ValueError):
+            TwoQ(kout_fraction=0.0)
+
+    def test_single_scan_does_not_pollute_am(self):
+        """A sequential scan stays in A1in; no page is promoted."""
+        policy = TwoQ()
+        buffer = BufferManager(make_disk(), 8, policy)
+        for page_id in range(20):
+            buffer.fetch(page_id)
+        assert policy.am_size == 0
+
+    def test_reference_after_a1in_eviction_promotes(self):
+        policy = TwoQ(kin_fraction=0.3, kout_fraction=1.0)
+        buffer = BufferManager(make_disk(), 6, policy)
+        for page_id in range(10):  # page 0 falls out of A1in into A1out
+            buffer.fetch(page_id)
+        assert policy.am_size == 0
+        buffer.fetch(0)  # ghost hit -> promoted to Am
+        assert policy.am_size == 1
+
+    def test_burst_inside_a1in_does_not_promote(self):
+        policy = TwoQ()
+        buffer = BufferManager(make_disk(), 8, policy)
+        for _ in range(5):
+            buffer.fetch(0)
+        assert policy.am_size == 0
+        assert policy.a1in_size == 1
+
+    def test_ghost_list_bounded(self):
+        policy = TwoQ(kout_fraction=0.5)
+        buffer = BufferManager(make_disk(n_pages=24), 8, policy)
+        for page_id in range(24):
+            buffer.fetch(page_id)
+        assert policy.ghost_size <= max(1, round(0.5 * 8))
+
+    def test_capacity_respected(self):
+        policy = TwoQ()
+        buffer = BufferManager(make_disk(), 5, policy)
+        for page_id in [0, 1, 2, 3, 4, 5, 0, 6, 1, 7, 8, 2, 9, 0, 1]:
+            buffer.fetch(page_id)
+            assert len(buffer) <= 5
+
+    def test_internal_lists_partition_residents(self):
+        policy = TwoQ()
+        buffer = BufferManager(make_disk(), 6, policy)
+        for page_id in [0, 1, 2, 3, 4, 5, 6, 7, 0, 1, 8, 9, 0]:
+            buffer.fetch(page_id)
+            assert policy.a1in_size + policy.am_size == len(buffer)
+
+
+class TestARC:
+    def test_second_reference_moves_to_t2(self):
+        policy = ARC()
+        buffer = BufferManager(make_disk(), 6, policy)
+        buffer.fetch(0)
+        assert 0 in policy._t1
+        buffer.fetch(0)
+        assert 0 in policy._t2
+
+    def test_ghost_hit_adapts_target(self):
+        policy = ARC()
+        buffer = BufferManager(make_disk(n_pages=24), 4, policy)
+        buffer.fetch(0)
+        buffer.fetch(0)  # page 0 in T2, so T1 < capacity and B1 can fill
+        for page_id in range(1, 9):  # churn T1; evictees spill into B1
+            buffer.fetch(page_id)
+        assert policy.target_t1 == 0.0
+        ghost = next(iter(policy._b1))
+        buffer.fetch(ghost)  # B1 ghost hit must raise the recency target
+        assert policy.target_t1 > 0.0
+
+    def test_scan_resistance(self):
+        """A hot set re-referenced around a long scan survives in T2."""
+        policy = ARC()
+        buffer = BufferManager(make_disk(n_pages=24), 6, policy)
+        hot = [0, 1]
+        for page_id in hot * 3:
+            buffer.fetch(page_id)
+        for page_id in range(4, 20):  # the scan
+            buffer.fetch(page_id)
+            buffer.fetch(hot[page_id % 2])  # hot set stays in play
+        assert buffer.contains(0)
+        assert buffer.contains(1)
+
+    def test_capacity_respected(self):
+        policy = ARC()
+        buffer = BufferManager(make_disk(), 5, policy)
+        trace = [0, 1, 2, 0, 3, 4, 5, 1, 6, 7, 0, 8, 9, 1, 2, 3]
+        for page_id in trace:
+            buffer.fetch(page_id)
+            assert len(buffer) <= 5
+        stats = buffer.stats
+        assert stats.hits + stats.misses == stats.requests
+
+    def test_ghost_directory_bounded(self):
+        policy = ARC()
+        capacity = 5
+        buffer = BufferManager(make_disk(n_pages=24), capacity, policy)
+        for cycle in range(3):
+            for page_id in range(24):
+                buffer.fetch(page_id)
+        assert policy.ghost_size <= 2 * capacity
+
+    def test_clear_resets(self):
+        policy = ARC()
+        buffer = BufferManager(make_disk(), 4, policy)
+        for page_id in range(10):
+            buffer.fetch(page_id)
+        buffer.clear()
+        assert policy.ghost_size == 0
+        assert policy.target_t1 == 0.0
+
+
+class TestGClock:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            GClock(max_count=0)
+
+    def test_hits_earn_sweep_survival(self):
+        policy = GClock()
+        buffer = BufferManager(make_disk(), 3, policy)
+        buffer.fetch(0)
+        buffer.fetch(0)  # counter 2
+        buffer.fetch(1)
+        buffer.fetch(2)
+        buffer.fetch(3)  # sweep decrements; 1 or 2 (count 1) goes first
+        assert buffer.contains(0)
+
+    def test_counter_capped(self):
+        policy = GClock(max_count=2)
+        buffer = BufferManager(make_disk(), 4, policy)
+        for _ in range(10):
+            buffer.fetch(0)
+        assert policy.count_of(0) == 2
+
+    def test_type_weight_protects_directories(self):
+        policy = GClock(initial_weight=type_weight)
+        buffer = BufferManager(typed_disk(), 3, policy)
+        buffer.fetch(16)  # directory, weight 3
+        buffer.fetch(0)   # object, weight 0
+        buffer.fetch(8)   # data, weight 1
+        buffer.fetch(9)   # evicts the object page first
+        assert not buffer.contains(0)
+        assert buffer.contains(16)
+
+    def test_capacity_under_churn(self):
+        policy = GClock()
+        buffer = BufferManager(make_disk(), 4, policy)
+        for page_id in [0, 1, 2, 3, 0, 4, 5, 0, 6, 7, 1, 8, 9, 0, 2]:
+            buffer.fetch(page_id)
+            assert len(buffer) <= 4
+
+
+class TestDomainSeparation:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DomainSeparation({PageType.DATA: -1.0})
+        with pytest.raises(ValueError):
+            DomainSeparation({PageType.DATA: 0.0})
+
+    def test_quotas_scale_with_capacity(self):
+        policy = DomainSeparation()
+        BufferManager(typed_disk(), 10, policy)
+        assert policy.quota_of(PageType.DIRECTORY) == 3
+        assert policy.quota_of(PageType.DATA) == 6
+        assert policy.quota_of(PageType.OBJECT) == 1
+
+    def test_domains_do_not_cannibalise(self):
+        """Flooding with data pages never evicts resident directories."""
+        policy = DomainSeparation()
+        buffer = BufferManager(typed_disk(), 6, policy)
+        buffer.fetch(16)  # directory (quota 2)
+        for page_id in range(8, 16):  # flood with data pages
+            buffer.fetch(page_id)
+        assert buffer.contains(16)
+
+    def test_over_quota_domain_evicts_internally(self):
+        policy = DomainSeparation(
+            {PageType.DATA: 0.5, PageType.OBJECT: 0.5}
+        )
+        buffer = BufferManager(typed_disk(), 4, policy)
+        for page_id in (8, 9, 10, 0):  # 3 data pages (quota 2) + 1 object
+            buffer.fetch(page_id)
+        buffer.fetch(11)  # at capacity: the over-quota data domain evicts
+        assert buffer.contains(0)  # the object page is untouched
+        assert not buffer.contains(8)  # LRU victim inside the data domain
+        data_resident = [
+            pid for pid in buffer.resident_ids() if 8 <= pid < 16
+        ]
+        assert len(data_resident) == 3
+
+    def test_capacity_under_mixed_churn(self):
+        policy = DomainSeparation()
+        buffer = BufferManager(typed_disk(), 5, policy)
+        trace = [0, 8, 16, 1, 9, 17, 2, 10, 18, 3, 11, 19, 8, 16, 0]
+        for page_id in trace:
+            buffer.fetch(page_id)
+            assert len(buffer) <= 5

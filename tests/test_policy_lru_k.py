@@ -1,0 +1,166 @@
+"""Tests for the LRU-K policy (Section 2.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.buffer.manager import BufferManager
+from repro.buffer.policies.lru_k import LRUK
+from repro.geometry.rect import Rect
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import Page, PageEntry, PageType
+
+
+def make_disk(n_pages=12):
+    disk = SimulatedDisk()
+    for page_id in range(n_pages):
+        page = Page(page_id=page_id, page_type=PageType.DATA)
+        page.entries.append(PageEntry(mbr=Rect(0, 0, 1, 1), payload=page_id))
+        disk.store(page)
+    return disk
+
+
+class TestConstruction:
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LRUK(k=0)
+
+    def test_name_reflects_k(self):
+        assert LRUK(k=2).name == "LRU-2"
+        assert LRUK(k=5).name == "LRU-5"
+
+
+class TestHistory:
+    def test_uncorrelated_hits_extend_history(self):
+        policy = LRUK(k=3)
+        buffer = BufferManager(make_disk(), 4, policy)
+        buffer.fetch(0)  # each unscoped access is its own query
+        buffer.fetch(0)
+        buffer.fetch(0)
+        assert len(policy.history_of(0)) == 3
+
+    def test_correlated_hits_collapse(self):
+        policy = LRUK(k=3)
+        buffer = BufferManager(make_disk(), 4, policy)
+        with buffer.query_scope():
+            buffer.fetch(0)
+            buffer.fetch(0)
+            buffer.fetch(0)
+        # One query: HIST holds a single (renewed) reference.
+        assert len(policy.history_of(0)) == 1
+
+    def test_history_truncated_to_k(self):
+        policy = LRUK(k=2)
+        buffer = BufferManager(make_disk(), 4, policy)
+        for _ in range(5):
+            buffer.fetch(0)
+        assert len(policy.history_of(0)) == 2
+
+    def test_history_retained_after_eviction(self):
+        policy = LRUK(k=2)
+        buffer = BufferManager(make_disk(), 1, policy)
+        buffer.fetch(0)
+        buffer.fetch(1)  # evicts page 0
+        assert policy.history_of(0)  # still known
+        assert policy.history_size == 2
+
+    def test_history_dropped_when_retention_disabled(self):
+        policy = LRUK(k=2, retain_history=False)
+        buffer = BufferManager(make_disk(), 1, policy)
+        buffer.fetch(0)
+        buffer.fetch(1)
+        assert policy.history_of(0) == ()
+        assert policy.history_size == 1
+
+    def test_history_grows_with_distinct_pages(self):
+        """The paper's memory criticism: HIST covers all pages ever seen."""
+        policy = LRUK(k=2)
+        buffer = BufferManager(make_disk(12), 2, policy)
+        for page_id in range(12):
+            buffer.fetch(page_id)
+        assert policy.history_size == 12
+
+    def test_reset_clears_history(self):
+        policy = LRUK(k=2)
+        buffer = BufferManager(make_disk(), 2, policy)
+        buffer.fetch(0)
+        buffer.clear()
+        assert policy.history_size == 0
+
+
+class TestVictimSelection:
+    def test_page_with_old_kth_reference_evicted(self):
+        policy = LRUK(k=2)
+        buffer = BufferManager(make_disk(), 3, policy)
+        # Page 0: two references long ago. Pages 1, 2: two recent references.
+        buffer.fetch(0)
+        buffer.fetch(0)
+        buffer.fetch(1)
+        buffer.fetch(1)
+        buffer.fetch(2)
+        buffer.fetch(2)
+        buffer.fetch(3)
+        assert not buffer.contains(0)
+
+    def test_pages_with_short_history_evicted_first(self):
+        """A page referenced once ranks behind pages with K references."""
+        policy = LRUK(k=2)
+        buffer = BufferManager(make_disk(), 3, policy)
+        buffer.fetch(0)
+        buffer.fetch(0)  # page 0 has 2 refs
+        buffer.fetch(1)
+        buffer.fetch(1)  # page 1 has 2 refs
+        buffer.fetch(2)  # page 2 has 1 ref -> infinite backward K-distance
+        buffer.fetch(3)
+        assert not buffer.contains(2)
+        assert buffer.contains(0)
+        assert buffer.contains(1)
+
+    def test_burst_within_one_query_does_not_protect(self):
+        """LRU-K's point: a one-query burst is one reference, not many."""
+        policy = LRUK(k=2)
+        buffer = BufferManager(make_disk(), 3, policy)
+        with buffer.query_scope():  # page 0: burst of correlated accesses
+            for _ in range(10):
+                buffer.fetch(0)
+        buffer.fetch(1)
+        buffer.fetch(1)  # page 1: two distinct queries
+        buffer.fetch(2)
+        buffer.fetch(2)
+        buffer.fetch(3)  # evicts page 0: its burst was a single reference
+        assert not buffer.contains(0)
+        assert buffer.contains(1)
+
+    def test_current_query_pages_protected(self):
+        policy = LRUK(k=2)
+        buffer = BufferManager(make_disk(), 2, policy)
+        with buffer.query_scope():
+            buffer.fetch(0)
+            buffer.fetch(1)
+            # Both residents belong to this query; eviction must still work
+            # (fallback) without crashing.
+            buffer.fetch(2)
+        assert len(buffer) == 2
+
+    def test_victims_prefer_uncorrelated_pages(self):
+        policy = LRUK(k=2)
+        buffer = BufferManager(make_disk(), 2, policy)
+        buffer.fetch(0)
+        buffer.fetch(0)
+        with buffer.query_scope():
+            buffer.fetch(1)  # belongs to the running query
+            buffer.fetch(2)  # must evict page 0 (uncorrelated), not page 1
+        assert buffer.contains(1)
+        assert not buffer.contains(0)
+
+    def test_reload_resumes_history(self):
+        """A page returning to the buffer continues its old HIST."""
+        policy = LRUK(k=2)
+        buffer = BufferManager(make_disk(), 2, policy)
+        buffer.fetch(0)
+        buffer.fetch(0)
+        buffer.fetch(1)
+        buffer.fetch(2)  # page 0 or 1 evicted; history kept
+        evicted = 0 if not buffer.contains(0) else 1
+        buffer.fetch(evicted)  # reload
+        assert len(policy.history_of(evicted)) >= 2

@@ -1,0 +1,118 @@
+"""Tests for SLRU, the static LRU + spatial combination (Section 4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.buffer.manager import BufferManager
+from repro.buffer.policies.slru import SLRU, select_from_candidates
+from repro.buffer.policies.spatial import SpatialPolicy
+from repro.buffer.policies.lru import LRU
+from repro.geometry.rect import Rect
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import Page, PageEntry, PageType
+
+
+def square_disk(sizes):
+    """Page i holds one square entry of the given area."""
+    disk = SimulatedDisk()
+    for page_id, area in enumerate(sizes):
+        side = area**0.5
+        page = Page(page_id=page_id, page_type=PageType.DATA)
+        page.entries.append(PageEntry(mbr=Rect(0, 0, side, side), payload=page_id))
+        disk.store(page)
+    return disk
+
+
+class TestConstruction:
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            SLRU(fraction=0.0)
+        with pytest.raises(ValueError):
+            SLRU(fraction=1.5)
+
+    def test_unknown_criterion_raises(self):
+        with pytest.raises(ValueError):
+            SLRU(criterion="Q")
+
+    def test_name_shows_fraction(self):
+        assert SLRU(fraction=0.25).name == "SLRU 25%"
+        assert SLRU(fraction=0.5).name == "SLRU 50%"
+
+    def test_candidate_count_scales_with_capacity(self):
+        policy = SLRU(fraction=0.25)
+        BufferManager(square_disk([1.0] * 20), 8, policy)
+        assert policy.candidate_count() == 2
+
+
+class TestVictimRule:
+    def test_victim_is_smallest_in_lru_candidate_set(self):
+        # Capacity 4, fraction 0.5 -> candidate set = 2 LRU-oldest pages.
+        disk = square_disk([100.0, 1.0, 50.0, 2.0, 3.0])
+        policy = SLRU(fraction=0.5)
+        buffer = BufferManager(disk, 4, policy)
+        for page_id in range(4):
+            buffer.fetch(page_id)
+        # LRU order: 0, 1, 2, 3.  Candidates = {0 (area 100), 1 (area 1)}.
+        # The spatial criterion picks page 1, although page 0 is older.
+        buffer.fetch(4)
+        assert not buffer.contains(1)
+        assert buffer.contains(0)
+
+    def test_small_page_outside_candidates_is_safe(self):
+        # Candidate set of 1 degenerates to plain LRU.
+        disk = square_disk([100.0, 1.0, 50.0, 2.0, 3.0])
+        policy = SLRU(fraction=0.25)
+        buffer = BufferManager(disk, 4, policy)
+        for page_id in range(4):
+            buffer.fetch(page_id)
+        buffer.fetch(4)  # candidate set = {0}; evict 0 despite its size
+        assert not buffer.contains(0)
+        assert buffer.contains(1)
+
+    def test_fraction_one_equals_pure_spatial(self):
+        sizes = [9.0, 4.0, 25.0, 1.0, 16.0, 36.0]
+        accesses = [0, 1, 2, 0, 3, 4, 1, 5, 2, 0, 4, 3, 5]
+
+        def run(policy):
+            buffer = BufferManager(square_disk(sizes), 3, policy)
+            for page_id in accesses:
+                buffer.fetch(page_id)
+            return buffer.resident_ids(), buffer.stats.misses
+
+        assert run(SLRU(fraction=1.0)) == run(SpatialPolicy("A"))
+
+    def test_tiny_candidate_set_equals_lru(self):
+        sizes = [9.0, 4.0, 25.0, 1.0, 16.0, 36.0]
+        accesses = [0, 1, 2, 0, 3, 4, 1, 5, 2, 0, 4, 3, 5]
+
+        def run(policy):
+            buffer = BufferManager(square_disk(sizes), 3, policy)
+            for page_id in accesses:
+                buffer.fetch(page_id)
+            return buffer.resident_ids(), buffer.stats.misses
+
+        # fraction small enough that ceil(f * capacity) == 1
+        assert run(SLRU(fraction=0.01)) == run(LRU())
+
+
+class TestSelectFromCandidates:
+    def test_helper_orders_by_recency_then_criterion(self):
+        disk = square_disk([100.0, 1.0, 50.0])
+        buffer = BufferManager(disk, 3, LRU())
+        for page_id in range(3):
+            buffer.fetch(page_id)
+        frames = list(buffer.frames.values())
+        victim = select_from_candidates(frames, candidate_count=2, criterion="A")
+        assert victim.page_id == 1  # smaller of the two oldest
+
+    def test_candidate_count_clamped(self):
+        disk = square_disk([4.0, 9.0])
+        buffer = BufferManager(disk, 2, LRU())
+        buffer.fetch(0)
+        buffer.fetch(1)
+        frames = list(buffer.frames.values())
+        victim = select_from_candidates(frames, candidate_count=99, criterion="A")
+        assert victim.page_id == 0  # smallest area overall
+        victim = select_from_candidates(frames, candidate_count=0, criterion="A")
+        assert victim.page_id == 0  # clamped to 1 -> LRU-oldest

@@ -1,0 +1,161 @@
+"""Tests for the spatial replacement criteria and the pure spatial policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.buffer.manager import BufferManager
+from repro.buffer.policies.spatial import (
+    SPATIAL_CRITERIA,
+    SpatialPolicy,
+    crit_area,
+    crit_entry_area,
+    crit_entry_margin,
+    crit_entry_overlap,
+    crit_margin,
+    spatial_criterion,
+)
+from repro.geometry.rect import Rect
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import Page, PageEntry, PageType
+
+
+def page_with(rects, page_id=0):
+    page = Page(page_id=page_id, page_type=PageType.DATA)
+    for index, rect in enumerate(rects):
+        page.entries.append(PageEntry(mbr=rect, payload=index))
+    return page
+
+
+class TestCriteria:
+    def test_area_is_page_mbr_area(self):
+        page = page_with([Rect(0, 0, 1, 1), Rect(2, 0, 3, 2)])
+        assert crit_area(page) == 6.0  # MBR = (0,0,3,2)
+
+    def test_entry_area_sums_entries(self):
+        page = page_with([Rect(0, 0, 1, 1), Rect(2, 0, 3, 2)])
+        assert crit_entry_area(page) == 3.0  # 1 + 2
+
+    def test_margin_is_page_mbr_margin(self):
+        page = page_with([Rect(0, 0, 1, 1), Rect(2, 0, 3, 2)])
+        assert crit_margin(page) == 10.0  # 2*(3+2)
+
+    def test_entry_margin_sums_entries(self):
+        page = page_with([Rect(0, 0, 1, 1), Rect(2, 0, 3, 2)])
+        assert crit_entry_margin(page) == 4.0 + 6.0
+
+    def test_entry_overlap_counts_pairs(self):
+        page = page_with(
+            [Rect(0, 0, 2, 2), Rect(1, 1, 3, 3), Rect(10, 10, 11, 11)]
+        )
+        assert crit_entry_overlap(page) == 1.0
+
+    def test_empty_page_criteria_are_zero(self):
+        page = page_with([])
+        for criterion in SPATIAL_CRITERIA.values():
+            assert criterion(page) == 0.0
+
+    def test_a_equals_ea_on_non_overlapping_full_partition(self):
+        """Paper: A and EA coincide on pages of a complete, overlap-free
+        partition (e.g. quadtree directory pages)."""
+        page = page_with(
+            [
+                Rect(0.0, 0.0, 0.5, 0.5),
+                Rect(0.5, 0.0, 1.0, 0.5),
+                Rect(0.0, 0.5, 0.5, 1.0),
+                Rect(0.5, 0.5, 1.0, 1.0),
+            ]
+        )
+        assert crit_area(page) == pytest.approx(crit_entry_area(page))
+
+
+class TestCriterionCache:
+    def test_cached_on_frame(self):
+        disk = SimulatedDisk()
+        disk.store(page_with([Rect(0, 0, 2, 2)], page_id=0))
+        buffer = BufferManager(disk, 2, SpatialPolicy("A"))
+        buffer.fetch(0)
+        frame = buffer.frames[0]
+        assert spatial_criterion(frame, "A") == 4.0
+        assert frame.crit_cache["A"] == 4.0
+        # Poison the cache to prove subsequent reads come from it.
+        frame.crit_cache["A"] = 99.0
+        assert spatial_criterion(frame, "A") == 99.0
+
+
+class TestSpatialPolicy:
+    def test_unknown_criterion_raises(self):
+        with pytest.raises(ValueError):
+            SpatialPolicy("XYZ")
+
+    @pytest.mark.parametrize("criterion", sorted(SPATIAL_CRITERIA))
+    def test_policy_name_is_criterion(self, criterion):
+        assert SpatialPolicy(criterion).name == criterion
+
+    def test_smallest_area_page_evicted(self):
+        disk = SimulatedDisk()
+        sizes = {0: 4.0, 1: 1.0, 2: 9.0, 3: 16.0}
+        for page_id, size in sizes.items():
+            side = size**0.5
+            disk.store(page_with([Rect(0, 0, side, side)], page_id=page_id))
+        buffer = BufferManager(disk, 3, SpatialPolicy("A"))
+        buffer.fetch(0)
+        buffer.fetch(1)
+        buffer.fetch(2)
+        buffer.fetch(3)  # evicts page 1 (smallest area)
+        assert not buffer.contains(1)
+        assert buffer.contains(0)
+        assert buffer.contains(2)
+
+    def test_recency_is_ignored(self):
+        """Unlike LRU, hitting a small page does not protect it."""
+        disk = SimulatedDisk()
+        disk.store(page_with([Rect(0, 0, 1, 1)], page_id=0))  # small
+        disk.store(page_with([Rect(0, 0, 5, 5)], page_id=1))  # large
+        disk.store(page_with([Rect(0, 0, 4, 4)], page_id=2))
+        buffer = BufferManager(disk, 2, SpatialPolicy("A"))
+        buffer.fetch(0)
+        buffer.fetch(1)
+        buffer.fetch(0)  # hit on the small page
+        buffer.fetch(2)  # still evicts the small page 0
+        assert not buffer.contains(0)
+
+    def test_ties_break_by_lru(self):
+        disk = SimulatedDisk()
+        for page_id in range(3):
+            disk.store(page_with([Rect(0, 0, 2, 2)], page_id=page_id))
+        buffer = BufferManager(disk, 2, SpatialPolicy("A"))
+        buffer.fetch(0)
+        buffer.fetch(1)
+        buffer.fetch(0)  # renew 0; tie on criterion -> evict 1
+        buffer.fetch(2)
+        assert not buffer.contains(1)
+        assert buffer.contains(0)
+
+    @pytest.mark.parametrize("criterion", sorted(SPATIAL_CRITERIA))
+    def test_all_criteria_run_under_churn(self, criterion):
+        disk = SimulatedDisk()
+        for page_id in range(10):
+            w = 0.5 + page_id * 0.3
+            disk.store(
+                page_with(
+                    [Rect(0, 0, w, w), Rect(w / 2, 0, w, w)], page_id=page_id
+                )
+            )
+        buffer = BufferManager(disk, 4, SpatialPolicy(criterion))
+        for page_id in [0, 1, 2, 3, 4, 5, 2, 6, 7, 1, 8, 9]:
+            buffer.fetch(page_id)
+            assert len(buffer) <= 4
+
+    def test_pinned_pages_skipped(self):
+        disk = SimulatedDisk()
+        disk.store(page_with([Rect(0, 0, 1, 1)], page_id=0))  # smallest
+        disk.store(page_with([Rect(0, 0, 3, 3)], page_id=1))
+        disk.store(page_with([Rect(0, 0, 5, 5)], page_id=2))
+        buffer = BufferManager(disk, 2, SpatialPolicy("A"))
+        buffer.fetch(0)
+        buffer.pin(0)
+        buffer.fetch(1)
+        buffer.fetch(2)  # must evict 1, not the pinned smallest page 0
+        assert buffer.contains(0)
+        assert not buffer.contains(1)

@@ -1,0 +1,101 @@
+"""Tests for the dataset renderer and the buffer advisor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.buffer.policies.lru import LRU
+from repro.datasets.render import density_map, query_map
+from repro.experiments.advisor import (
+    Advice,
+    advise,
+    advise_from_trace,
+    knee_capacity,
+)
+from repro.experiments.trace import AccessTrace, record_trace
+from repro.geometry.rect import Rect
+
+
+class TestDensityMap:
+    def test_dimensions(self, small_dataset):
+        rendered = density_map(small_dataset, columns=40, rows=12)
+        lines = rendered.splitlines()
+        assert len(lines) == 14  # 12 rows + 2 borders
+        assert all(len(line) == 42 for line in lines)
+
+    def test_water_is_blank_land_is_not(self, small_dataset_db2):
+        rendered = density_map(small_dataset_db2, columns=60, rows=20)
+        body = rendered.splitlines()[1:-1]
+        # Eastern third of the map is water in the world-atlas stand-in.
+        east = [line[41:61] for line in body]
+        west = [line[1:41] for line in body]
+        east_ink = sum(ch != " " for row in east for ch in row)
+        west_ink = sum(ch != " " for row in west for ch in row)
+        assert west_ink > 5 * max(east_ink, 1)
+
+    def test_invalid_dimensions(self, small_dataset):
+        with pytest.raises(ValueError):
+            density_map(small_dataset, columns=1)
+
+    def test_query_map_concentration(self, small_database):
+        queries = small_database.query_set("INT-P", 200).queries
+        rendered = query_map(queries, small_database.dataset.space, 40, 12)
+        assert "@" in rendered  # a dense hotspot exists
+
+
+class TestKneeCapacity:
+    def test_finds_first_coverage_point(self):
+        # 10 references; curve: misses at capacities 1..4.
+        curve = [8, 5, 4, 4]
+        # achievable hits = 6; 90% -> 5.4; capacity 2 gives 5 hits, 3 gives 6.
+        assert knee_capacity(curve, 10, coverage=0.9) == 3
+        assert knee_capacity(curve, 10, coverage=0.8) == 2
+
+    def test_no_hits_returns_one(self):
+        assert knee_capacity([5, 5, 5], 5) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            knee_capacity([], 5)
+        with pytest.raises(ValueError):
+            knee_capacity([1], 5, coverage=0.0)
+
+
+class TestAdvisor:
+    def test_advise_on_real_workload(self, small_database):
+        sample = small_database.query_set("S-W-100", 60)
+        advice = advise(small_database.tree, sample)
+        assert isinstance(advice, Advice)
+        assert advice.recommended_capacity >= 1
+        assert advice.recommended_policy in advice.policy_misses
+        assert advice.opt_misses <= min(advice.policy_misses.values())
+        assert advice.headroom >= 0.0
+
+    def test_recommended_policy_is_the_miss_minimiser(self, small_database):
+        sample = small_database.query_set("U-W-100", 60)
+        advice = advise(small_database.tree, sample)
+        best = min(advice.policy_misses.values())
+        assert advice.policy_misses[advice.recommended_policy] == best
+
+    def test_report_renders(self, small_database):
+        sample = small_database.query_set("ID-P", 40)
+        advice = advise(small_database.tree, sample)
+        text = advice.to_text()
+        assert "recommended policy" in text
+        assert "OPT" in text
+
+    def test_lru_always_among_candidates(self, small_database):
+        sample = small_database.query_set("U-P", 30)
+        advice = advise(small_database.tree, sample, candidates={"LRU": LRU})
+        assert set(advice.policy_misses) == {"LRU"}
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            advise_from_trace(AccessTrace())
+
+    def test_max_capacity_caps_curve(self, small_database):
+        sample = small_database.query_set("U-W-100", 40)
+        trace = record_trace(small_database.tree, sample)
+        advice = advise_from_trace(trace, max_capacity=12)
+        assert advice.recommended_capacity <= 12
+        assert len(advice.miss_curve) == 12

@@ -1,0 +1,124 @@
+"""Tests for the R-tree spatial join."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.buffer.manager import BufferManager
+from repro.buffer.policies.lru import LRU
+from repro.geometry.rect import Rect
+from repro.sam.join import nested_loop_join, spatial_join
+from repro.sam.rstar import RStarTree
+from repro.storage.pagefile import PageFile
+
+
+def random_rects(n, seed, extent=0.08):
+    rng = random.Random(seed)
+    rects = []
+    for _ in range(n):
+        x, y = rng.random(), rng.random()
+        w, h = rng.random() * extent, rng.random() * extent
+        rects.append(Rect(x, y, min(x + w, 1.0), min(y + h, 1.0)))
+    return rects
+
+
+def brute_join(left, right):
+    return sorted(
+        (i, j)
+        for i, a in enumerate(left)
+        for j, b in enumerate(right)
+        if a.intersects(b)
+    )
+
+
+def build(rects, shared_pagefile=None):
+    tree = RStarTree(
+        pagefile=shared_pagefile, max_dir_entries=8, max_data_entries=8
+    )
+    tree.bulk_load([(rect, i) for i, rect in enumerate(rects)])
+    return tree
+
+
+class TestSpatialJoin:
+    def test_matches_brute_force(self):
+        left = random_rects(120, seed=61)
+        right = random_rects(150, seed=62)
+        result = spatial_join(build(left), build(right))
+        assert sorted(result) == brute_join(left, right)
+
+    def test_matches_nested_loop_baseline(self):
+        left = random_rects(100, seed=63)
+        right = random_rects(100, seed=64)
+        left_tree, right_tree = build(left), build(right)
+        assert sorted(spatial_join(left_tree, right_tree)) == sorted(
+            nested_loop_join(left_tree, right_tree)
+        )
+
+    def test_empty_trees(self):
+        empty = RStarTree()
+        tree = build(random_rects(20, seed=65))
+        assert spatial_join(empty, tree) == []
+        assert spatial_join(tree, empty) == []
+        assert nested_loop_join(empty, tree) == []
+
+    def test_different_tree_heights(self):
+        small = build(random_rects(10, seed=66, extent=0.3))
+        large = build(random_rects(600, seed=67))
+        result = spatial_join(small, large)
+        expected = brute_join(
+            random_rects(10, seed=66, extent=0.3), random_rects(600, seed=67)
+        )
+        assert sorted(result) == expected
+
+    def test_disjoint_datasets_join_empty(self):
+        left = [Rect(0.0, 0.0, 0.1, 0.1).translated(i * 0.001, 0) for i in range(30)]
+        right = [Rect(0.8, 0.8, 0.9, 0.9).translated(i * 0.001, 0) for i in range(30)]
+        assert spatial_join(build(left), build(right)) == []
+
+    def test_self_join_contains_diagonal(self):
+        rects = random_rects(80, seed=68)
+        tree = build(rects)
+        result = spatial_join(tree, tree)
+        pairs = set(result)
+        for i in range(len(rects)):
+            assert (i, i) in pairs
+
+    def test_join_through_shared_buffer(self):
+        """Both trees on one disk, one shared buffer — the realistic setup."""
+        pagefile = PageFile()
+        left_rects = random_rects(150, seed=69)
+        right_rects = random_rects(150, seed=70)
+        left_tree = build(left_rects, pagefile)
+        right_tree = build(right_rects, pagefile)
+        buffer = BufferManager(pagefile.disk, 16, LRU())
+        result = spatial_join(left_tree, right_tree, buffer, buffer)
+        assert sorted(result) == brute_join(left_rects, right_rects)
+        assert buffer.stats.misses > 0
+        assert buffer.stats.hits > 0  # inner pages are revisited
+
+    def test_synchronized_traversal_beats_nested_loop_io(self):
+        """The join algorithm's point: far fewer page requests."""
+        pagefile = PageFile()
+        left_tree = build(random_rects(200, seed=71), pagefile)
+        right_tree = build(random_rects(200, seed=72), pagefile)
+
+        def requests(join_fn):
+            buffer = BufferManager(pagefile.disk, 24, LRU())
+            join_fn(left_tree, right_tree, buffer, buffer)
+            return buffer.stats.requests
+
+        assert requests(spatial_join) < requests(nested_loop_join)
+
+    def test_buffer_size_changes_join_cost(self):
+        pagefile = PageFile()
+        left_tree = build(random_rects(250, seed=73), pagefile)
+        right_tree = build(random_rects(250, seed=74), pagefile)
+
+        def misses(capacity):
+            buffer = BufferManager(pagefile.disk, capacity, LRU())
+            spatial_join(left_tree, right_tree, buffer, buffer)
+            return buffer.stats.misses
+
+        assert misses(64) <= misses(8)

@@ -1,0 +1,202 @@
+"""Tests for the bucket quadtree."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.geometry.rect import Point, Rect
+from repro.sam.quadtree import Quadtree
+from repro.storage.page import PageType
+
+SPACE = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+def random_rects(n, seed, extent=0.04):
+    rng = random.Random(seed)
+    rects = []
+    for _ in range(n):
+        x, y = rng.random(), rng.random()
+        w, h = rng.random() * extent, rng.random() * extent
+        rects.append(Rect(x, y, min(x + w, 1.0), min(y + h, 1.0)))
+    return rects
+
+
+def brute_window(rects, window):
+    return sorted(i for i, rect in enumerate(rects) if rect.intersects(window))
+
+
+class TestQuadtree:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            Quadtree(SPACE, capacity=1)
+        with pytest.raises(ValueError):
+            Quadtree(SPACE, max_depth=0)
+
+    def test_object_outside_space_rejected(self):
+        tree = Quadtree(SPACE)
+        with pytest.raises(ValueError):
+            tree.insert(Rect(2.0, 2.0, 3.0, 3.0), 0)
+
+    def test_window_query_matches_brute_force(self):
+        rects = random_rects(400, seed=41)
+        tree = Quadtree(SPACE, capacity=8)
+        for i, rect in enumerate(rects):
+            tree.insert(rect, i)
+        rng = random.Random(42)
+        for _ in range(20):
+            cx, cy = rng.random(), rng.random()
+            window = Rect(
+                max(0.0, cx - 0.1), max(0.0, cy - 0.1),
+                min(1.0, cx + 0.1), min(1.0, cy + 0.1),
+            )
+            assert sorted(tree.window_query(window)) == brute_window(rects, window)
+
+    def test_results_deduplicated(self):
+        """An object replicated into several quadrants is reported once."""
+        tree = Quadtree(SPACE, capacity=4)
+        # A rectangle straddling the first subdivision boundary.
+        straddler = Rect(0.45, 0.45, 0.55, 0.55)
+        tree.insert(straddler, "straddler")
+        for i in range(10):  # force subdivision
+            tree.insert(Rect(0.1 + i * 0.01, 0.1, 0.1 + i * 0.01, 0.1), i)
+        results = tree.window_query(Rect(0.0, 0.0, 1.0, 1.0))
+        assert results.count("straddler") == 1
+
+    def test_point_query(self):
+        rects = random_rects(200, seed=43, extent=0.15)
+        tree = Quadtree(SPACE, capacity=8)
+        for i, rect in enumerate(rects):
+            tree.insert(rect, i)
+        point = Point(0.4, 0.6)
+        expected = sorted(
+            i for i, rect in enumerate(rects) if rect.contains_point(point)
+        )
+        assert sorted(tree.point_query(point)) == expected
+
+    def test_subdivision_creates_directory_pages(self):
+        tree = Quadtree(SPACE, capacity=4)
+        for i, rect in enumerate(random_rects(100, seed=44)):
+            tree.insert(rect, i)
+        stats = tree.stats()
+        assert stats.directory_pages >= 1
+        assert stats.data_pages >= 4
+        assert stats.entry_count == 100
+
+    def test_max_depth_caps_subdivision(self):
+        tree = Quadtree(SPACE, capacity=4, max_depth=2)
+        point_rect = Rect(0.1, 0.1, 0.1, 0.1)
+        for i in range(50):  # identical points cannot be separated
+            tree.insert(point_rect, i)
+        # Depth never exceeds max_depth; the deepest leaf simply overflows.
+        assert all(depth <= 2 for depth in tree._depths.values())
+        assert sorted(tree.window_query(Rect(0.0, 0.0, 0.2, 0.2))) == list(range(50))
+
+    def test_levels_encode_priority(self):
+        """Deeper pages have lower levels (LRU-P priority) than the root."""
+        tree = Quadtree(SPACE, capacity=4, max_depth=6)
+        for i, rect in enumerate(random_rects(200, seed=45)):
+            tree.insert(rect, i)
+        root = tree.pagefile.disk.peek(tree.root_id)
+        assert root.level == 6  # max_depth - 0
+        for page_id in tree.all_page_ids():
+            page = tree.pagefile.disk.peek(page_id)
+            assert page.level <= root.level
+
+    def test_directory_pages_partition_without_overlap(self):
+        """The property the paper cites: quadtree directories partition the
+        space completely and without overlap (so A == EA there)."""
+        tree = Quadtree(SPACE, capacity=4)
+        for i, rect in enumerate(random_rects(150, seed=46)):
+            tree.insert(rect, i)
+        for page_id in tree.all_page_ids():
+            page = tree.pagefile.disk.peek(page_id)
+            if page.page_type is not PageType.DIRECTORY:
+                continue
+            quadrants = page.entry_mbrs()
+            assert len(quadrants) == 4
+            total_area = sum(q.area for q in quadrants)
+            region = tree._regions[page.page_id]
+            assert total_area == pytest.approx(region.area)
+
+
+class TestQuadtreeDeletion:
+    def test_delete_removes_all_replicas(self):
+        tree = Quadtree(SPACE, capacity=4)
+        straddler = Rect(0.45, 0.45, 0.55, 0.55)
+        tree.insert(straddler, "straddler")
+        for i in range(20):  # force subdivisions so replicas exist
+            tree.insert(Rect(0.1 + i * 0.01, 0.1, 0.1 + i * 0.01, 0.1), i)
+        assert tree.delete(straddler, "straddler")
+        assert "straddler" not in tree.window_query(Rect(0, 0, 1, 1))
+        assert tree.entry_count == 20
+
+    def test_delete_missing_returns_false(self):
+        tree = Quadtree(SPACE, capacity=4)
+        tree.insert(Rect(0.2, 0.2, 0.2, 0.2), 1)
+        assert not tree.delete(Rect(0.9, 0.9, 0.9, 0.9), 99)
+        assert tree.entry_count == 1
+
+    def test_delete_then_query_matches_brute_force(self):
+        rects = random_rects(200, seed=47)
+        tree = Quadtree(SPACE, capacity=8)
+        for i, rect in enumerate(rects):
+            tree.insert(rect, i)
+        for i in range(0, 200, 3):
+            assert tree.delete(rects[i], i)
+        survivors = sorted(set(range(200)) - set(range(0, 200, 3)))
+        assert sorted(tree.window_query(Rect(0, 0, 1, 1))) == survivors
+
+    def test_reinsert_after_delete(self):
+        tree = Quadtree(SPACE, capacity=4)
+        rect = Rect(0.3, 0.3, 0.32, 0.32)
+        tree.insert(rect, 7)
+        assert tree.delete(rect, 7)
+        tree.insert(rect, 7)
+        assert tree.window_query(rect) == [7]
+
+
+class TestQuadtreeViaBuffer:
+    def test_buffered_inserts_match_plain(self):
+        from repro.buffer.manager import BufferManager
+        from repro.buffer.policies.lru import LRU
+
+        rects = random_rects(200, seed=84)
+        plain = Quadtree(SPACE, capacity=6)
+        for i, rect in enumerate(rects):
+            plain.insert(rect, i)
+
+        buffered = Quadtree(SPACE, capacity=6)
+        buffer = BufferManager(buffered.pagefile.disk, 5, LRU())
+        with buffered.via(buffer):
+            for i, rect in enumerate(rects):
+                buffered.insert(rect, i)
+        window = Rect(0.15, 0.15, 0.75, 0.75)
+        assert sorted(buffered.window_query(window)) == sorted(
+            plain.window_query(window)
+        )
+
+    def test_buffered_delete_matches_plain(self):
+        from repro.buffer.manager import BufferManager
+        from repro.buffer.policies.lru import LRU
+
+        rects = random_rects(150, seed=85)
+        trees = []
+        for use_buffer in (False, True):
+            tree = Quadtree(SPACE, capacity=6)
+            for i, rect in enumerate(rects):
+                tree.insert(rect, i)
+            if use_buffer:
+                buffer = BufferManager(tree.pagefile.disk, 5, LRU())
+                with tree.via(buffer):
+                    for i in range(0, 150, 4):
+                        assert tree.delete(rects[i], i)
+            else:
+                for i in range(0, 150, 4):
+                    assert tree.delete(rects[i], i)
+            trees.append(tree)
+        whole = Rect(0, 0, 1, 1)
+        assert sorted(trees[0].window_query(whole)) == sorted(
+            trees[1].window_query(whole)
+        )

@@ -1,0 +1,123 @@
+"""Tests for the Guttman R-tree (linear and quadratic splits)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.geometry.rect import Point, Rect
+from repro.sam.rtree import RTree
+
+
+def random_rects(n, seed, extent=0.05):
+    rng = random.Random(seed)
+    rects = []
+    for _ in range(n):
+        x, y = rng.random(), rng.random()
+        w, h = rng.random() * extent, rng.random() * extent
+        rects.append(Rect(x, y, min(x + w, 1.0), min(y + h, 1.0)))
+    return rects
+
+
+def brute_window(rects, window):
+    return sorted(i for i, rect in enumerate(rects) if rect.intersects(window))
+
+
+@pytest.fixture(params=["quadratic", "linear"])
+def split_algorithm(request):
+    return request.param
+
+
+class TestRTree:
+    def test_invalid_split_name_raises(self):
+        with pytest.raises(ValueError):
+            RTree(split="cubic")
+
+    def test_never_reinserts(self):
+        tree = RTree()
+        assert tree.reinsert_fraction == 0.0
+
+    def test_window_query_matches_brute_force(self, split_algorithm):
+        rects = random_rects(400, seed=31)
+        tree = RTree(max_dir_entries=8, max_data_entries=8, split=split_algorithm)
+        for i, rect in enumerate(rects):
+            tree.insert(rect, i)
+        tree.validate()
+        rng = random.Random(32)
+        for _ in range(15):
+            cx, cy = rng.random(), rng.random()
+            window = Rect(
+                max(0.0, cx - 0.1), max(0.0, cy - 0.1),
+                min(1.0, cx + 0.1), min(1.0, cy + 0.1),
+            )
+            assert sorted(tree.window_query(window)) == brute_window(rects, window)
+
+    def test_point_query(self, split_algorithm):
+        rects = random_rects(200, seed=33, extent=0.2)
+        tree = RTree(max_dir_entries=6, max_data_entries=6, split=split_algorithm)
+        for i, rect in enumerate(rects):
+            tree.insert(rect, i)
+        point = Point(0.5, 0.5)
+        expected = sorted(
+            i for i, rect in enumerate(rects) if rect.contains_point(point)
+        )
+        assert sorted(tree.point_query(point)) == expected
+
+    def test_identical_rects_split_safely(self, split_algorithm):
+        tree = RTree(max_dir_entries=4, max_data_entries=4, split=split_algorithm)
+        rect = Rect(0.5, 0.5, 0.6, 0.6)
+        for i in range(25):
+            tree.insert(rect, i)
+        tree.validate()
+        assert sorted(tree.window_query(rect)) == list(range(25))
+
+    def test_deletion_inherited(self, split_algorithm):
+        rects = random_rects(150, seed=34)
+        tree = RTree(max_dir_entries=6, max_data_entries=6, split=split_algorithm)
+        for i, rect in enumerate(rects):
+            tree.insert(rect, i)
+        for i in range(0, 150, 3):
+            assert tree.delete(rects[i], i)
+        tree.validate()
+        survivors = sorted(set(range(150)) - set(range(0, 150, 3)))
+        assert sorted(tree.window_query(Rect(0, 0, 1, 1))) == survivors
+
+    def test_bulk_load_inherited(self):
+        rects = random_rects(300, seed=35)
+        tree = RTree(max_dir_entries=8, max_data_entries=8)
+        tree.bulk_load([(r, i) for i, r in enumerate(rects)])
+        tree.validate()
+        window = Rect(0.2, 0.2, 0.7, 0.7)
+        assert sorted(tree.window_query(window)) == brute_window(rects, window)
+
+    def test_rstar_produces_no_worse_directory_overlap(self):
+        """Sanity: R* split/reinsert should not produce *more* leaf-level
+        overlap than Guttman on clustered data (their design goal)."""
+        from repro.sam.rstar import RStarTree
+
+        rng = random.Random(36)
+        rects = []
+        for _ in range(500):
+            cx = rng.choice([0.2, 0.5, 0.8]) + rng.gauss(0, 0.03)
+            cy = rng.choice([0.3, 0.7]) + rng.gauss(0, 0.03)
+            rects.append(Rect(cx, cy, cx + 0.01, cy + 0.01))
+
+        def leaf_overlap(tree):
+            leaves = [
+                tree.pagefile.disk.peek(pid).mbr()
+                for pid in tree.all_page_ids()
+                if tree.pagefile.disk.peek(pid).is_leaf
+            ]
+            total = 0.0
+            for i in range(len(leaves)):
+                for j in range(i + 1, len(leaves)):
+                    total += leaves[i].intersection_area(leaves[j])
+            return total
+
+        guttman = RTree(max_dir_entries=8, max_data_entries=8, split="linear")
+        rstar = RStarTree(max_dir_entries=8, max_data_entries=8)
+        for i, rect in enumerate(rects):
+            guttman.insert(rect, i)
+            rstar.insert(rect, i)
+        assert leaf_overlap(rstar) <= leaf_overlap(guttman) * 1.5

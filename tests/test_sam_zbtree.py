@@ -1,0 +1,237 @@
+"""Tests for the z-order B+-tree."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.geometry.rect import Point, Rect
+from repro.sam.zbtree import ZBTree
+
+SPACE = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+def random_points(n, seed):
+    rng = random.Random(seed)
+    return [Point(rng.random(), rng.random()).as_rect() for _ in range(n)]
+
+
+def brute_window(rects, window):
+    return sorted(i for i, rect in enumerate(rects) if rect.intersects(window))
+
+
+class TestZBTree:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ZBTree(SPACE, max_entries=2)
+
+    def test_empty_tree_queries(self):
+        tree = ZBTree(SPACE)
+        assert tree.window_query(Rect(0, 0, 1, 1)) == []
+        assert tree.point_query(Point(0.5, 0.5)) == []
+
+    def test_insert_and_full_scan(self):
+        rects = random_points(300, seed=51)
+        tree = ZBTree(SPACE, max_entries=8)
+        for i, rect in enumerate(rects):
+            tree.insert(rect, i)
+        tree.validate()
+        assert sorted(tree.window_query(Rect(0, 0, 1, 1))) == list(range(300))
+
+    def test_window_query_matches_brute_force_for_points(self):
+        rects = random_points(400, seed=52)
+        tree = ZBTree(SPACE, max_entries=8, max_ranges=256)
+        for i, rect in enumerate(rects):
+            tree.insert(rect, i)
+        rng = random.Random(53)
+        for _ in range(20):
+            cx, cy = rng.random() * 0.8, rng.random() * 0.8
+            window = Rect(cx, cy, cx + 0.2, cy + 0.2)
+            assert sorted(set(tree.window_query(window))) == brute_window(
+                rects, window
+            )
+
+    def test_bulk_load_equivalent_to_inserts(self):
+        rects = random_points(200, seed=54)
+        loaded = ZBTree(SPACE, max_entries=8)
+        loaded.bulk_load([(r, i) for i, r in enumerate(rects)])
+        loaded.validate()
+        window = Rect(0.1, 0.1, 0.5, 0.5)
+        inserted = ZBTree(SPACE, max_entries=8)
+        for i, rect in enumerate(rects):
+            inserted.insert(rect, i)
+        assert sorted(loaded.window_query(window)) == sorted(
+            inserted.window_query(window)
+        )
+
+    def test_bulk_load_on_nonempty_raises(self):
+        tree = ZBTree(SPACE)
+        tree.insert(Rect(0.5, 0.5, 0.5, 0.5), 0)
+        with pytest.raises(RuntimeError):
+            tree.bulk_load([(Rect(0.1, 0.1, 0.1, 0.1), 1)])
+
+    def test_tree_grows_and_balances(self):
+        rects = random_points(500, seed=55)
+        tree = ZBTree(SPACE, max_entries=6)
+        for i, rect in enumerate(rects):
+            tree.insert(rect, i)
+        tree.validate()
+        stats = tree.stats()
+        assert stats.height >= 3
+        assert stats.directory_pages >= 1
+        assert stats.entry_count == 500
+
+    def test_entry_mbrs_are_real_geometry(self):
+        """Inner entries carry subtree MBRs, so spatial criteria work."""
+        rects = random_points(300, seed=56)
+        tree = ZBTree(SPACE, max_entries=8)
+        for i, rect in enumerate(rects):
+            tree.insert(rect, i)
+        root = tree.pagefile.disk.peek(tree.root_id)
+        assert not root.is_leaf
+        for entry in root.entries:
+            child = tree.pagefile.disk.peek(entry.child)
+            assert entry.mbr.contains(child.mbr())
+
+    def test_duplicate_keys_supported(self):
+        tree = ZBTree(SPACE, max_entries=4)
+        rect = Rect(0.3, 0.3, 0.3, 0.3)
+        for i in range(20):
+            tree.insert(rect, i)
+        tree.validate()
+        results = tree.window_query(Rect(0.25, 0.25, 0.35, 0.35))
+        assert sorted(results) == list(range(20))
+
+
+class TestZBTreeDeletion:
+    def test_delete_removes_entry(self):
+        rects = random_points(150, seed=57)
+        tree = ZBTree(SPACE, max_entries=8)
+        for i, rect in enumerate(rects):
+            tree.insert(rect, i)
+        assert tree.delete(rects[10], 10)
+        assert 10 not in tree.window_query(Rect(0, 0, 1, 1))
+        assert tree.entry_count == 149
+        tree.validate()
+
+    def test_delete_missing_returns_false(self):
+        tree = ZBTree(SPACE, max_entries=8)
+        tree.insert(Rect(0.5, 0.5, 0.5, 0.5), 1)
+        assert not tree.delete(Rect(0.25, 0.75, 0.25, 0.75), 99)
+
+    def test_delete_from_empty_tree(self):
+        assert not ZBTree(SPACE).delete(Rect(0.1, 0.1, 0.1, 0.1), 0)
+
+    def test_delete_many_then_query(self):
+        rects = random_points(200, seed=58)
+        tree = ZBTree(SPACE, max_entries=6)
+        for i, rect in enumerate(rects):
+            tree.insert(rect, i)
+        for i in range(0, 200, 2):
+            assert tree.delete(rects[i], i), i
+        survivors = sorted(range(1, 200, 2))
+        assert sorted(tree.window_query(Rect(0, 0, 1, 1))) == survivors
+
+    def test_duplicate_keys_delete_specific_payload(self):
+        tree = ZBTree(SPACE, max_entries=4)
+        rect = Rect(0.3, 0.3, 0.3, 0.3)
+        for i in range(10):
+            tree.insert(rect, i)
+        assert tree.delete(rect, 5)
+        remaining = sorted(tree.window_query(Rect(0.25, 0.25, 0.35, 0.35)))
+        assert remaining == [0, 1, 2, 3, 4, 6, 7, 8, 9]
+
+
+def random_boxes(n, seed, extent=0.06):
+    import random as random_module
+
+    rng = random_module.Random(seed)
+    boxes = []
+    for _ in range(n):
+        x, y = rng.random() * 0.9, rng.random() * 0.9
+        w, h = rng.random() * extent, rng.random() * extent
+        boxes.append(Rect(x, y, min(x + w, 1.0), min(y + h, 1.0)))
+    return boxes
+
+
+class TestMultiCellMode:
+    def test_extended_objects_found_off_centre(self):
+        """The centre-keyed mode misses a window that avoids the centre
+        cell; multi-cell mode finds it — the PROBE fix."""
+        big = Rect(0.1, 0.1, 0.6, 0.6)
+        corner_window = Rect(0.55, 0.55, 0.59, 0.59)  # far from the centre
+        multi = ZBTree(SPACE, max_entries=8, multi_cell=True)
+        multi.insert(big, 1)
+        assert multi.window_query(corner_window) == [1]
+
+    def test_window_query_matches_brute_force_for_boxes(self):
+        boxes = random_boxes(200, seed=61)
+        tree = ZBTree(SPACE, max_entries=8, multi_cell=True, max_ranges=256)
+        for i, box in enumerate(boxes):
+            tree.insert(box, i)
+        import random as random_module
+
+        rng = random_module.Random(62)
+        for _ in range(15):
+            cx, cy = rng.random() * 0.7, rng.random() * 0.7
+            window = Rect(cx, cy, cx + 0.25, cy + 0.25)
+            expected = sorted(
+                i for i, box in enumerate(boxes) if box.intersects(window)
+            )
+            assert sorted(tree.window_query(window)) == expected
+
+    def test_results_deduplicated(self):
+        tree = ZBTree(SPACE, max_entries=8, multi_cell=True)
+        tree.insert(Rect(0.2, 0.2, 0.8, 0.8), "wide")
+        results = tree.window_query(Rect(0.0, 0.0, 1.0, 1.0))
+        assert results == ["wide"]
+
+    def test_entry_count_counts_objects_not_replicas(self):
+        boxes = random_boxes(50, seed=63)
+        tree = ZBTree(SPACE, max_entries=8, multi_cell=True)
+        tree.bulk_load([(box, i) for i, box in enumerate(boxes)])
+        assert tree.entry_count == 50
+
+    def test_delete_removes_all_replicas(self):
+        tree = ZBTree(SPACE, max_entries=8, multi_cell=True)
+        big = Rect(0.1, 0.1, 0.7, 0.7)
+        tree.insert(big, 1)
+        tree.insert(Rect(0.05, 0.05, 0.05, 0.05), 2)
+        assert tree.delete(big, 1)
+        assert tree.window_query(Rect(0.0, 0.0, 1.0, 1.0)) == [2]
+        assert tree.entry_count == 1
+
+    def test_cells_per_object_validation(self):
+        import pytest as pytest_module
+
+        with pytest_module.raises(ValueError):
+            ZBTree(SPACE, multi_cell=True, cells_per_object=0)
+
+    def test_point_query_exact_for_extended_objects(self):
+        tree = ZBTree(SPACE, max_entries=8, multi_cell=True)
+        big = Rect(0.2, 0.2, 0.6, 0.6)
+        tree.insert(big, 1)
+        assert tree.point_query(Point(0.55, 0.25)) == [1]
+
+
+class TestZBTreeViaBuffer:
+    def test_buffered_inserts_match_plain(self):
+        points = random_points(200, seed=83)
+        plain = ZBTree(SPACE, max_entries=6)
+        for i, rect in enumerate(points):
+            plain.insert(rect, i)
+
+        buffered = ZBTree(SPACE, max_entries=6)
+        from repro.buffer.manager import BufferManager
+        from repro.buffer.policies.lru import LRU
+
+        buffer = BufferManager(buffered.pagefile.disk, 5, LRU())
+        with buffered.via(buffer):
+            for i, rect in enumerate(points):
+                buffered.insert(rect, i)
+        buffered.validate()
+        window = Rect(0.1, 0.1, 0.8, 0.8)
+        assert sorted(buffered.window_query(window)) == sorted(
+            plain.window_query(window)
+        )

@@ -1,0 +1,159 @@
+"""Tests for object pages (the third page category)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.buffer.manager import BufferManager
+from repro.buffer.policies.lru import LRU
+from repro.buffer.policies.lru_t import LRUT
+from repro.geometry.rect import Rect
+from repro.sam.rstar import RStarTree
+from repro.storage.objects import (
+    ObjectStore,
+    build_tree_with_objects,
+    synthesize_outline,
+)
+from repro.storage.page import PageType
+from repro.storage.pagefile import PageFile
+
+
+class TestSynthesizeOutline:
+    def test_point_object_is_single_vertex(self):
+        outline = synthesize_outline(Rect(0.5, 0.5, 0.5, 0.5))
+        assert len(outline) == 1
+
+    def test_extended_object_outline_inside_mbr(self):
+        mbr = Rect(0.2, 0.3, 0.6, 0.5)
+        outline = synthesize_outline(mbr, vertices=12)
+        assert len(outline) == 12
+        for vertex in outline:
+            assert mbr.contains_point(vertex) or (
+                abs(vertex.x - mbr.x_min) < 1e-9
+                or abs(vertex.x - mbr.x_max) < 1e-9
+            )
+
+    def test_too_few_vertices_raise(self):
+        with pytest.raises(ValueError):
+            synthesize_outline(Rect(0, 0, 1, 1), vertices=2)
+
+
+class TestObjectStore:
+    def _items(self, n=25):
+        return [
+            (Rect(i * 0.03, i * 0.03, i * 0.03 + 0.01, i * 0.03 + 0.01), i)
+            for i in range(n)
+        ]
+
+    def test_parameter_validation(self):
+        pagefile = PageFile()
+        space = Rect(0, 0, 1, 1)
+        with pytest.raises(ValueError):
+            ObjectStore(pagefile, space, objects_per_page=0)
+        with pytest.raises(ValueError):
+            ObjectStore(pagefile, space, order="shuffled")
+
+    def test_packs_into_object_pages(self):
+        pagefile = PageFile()
+        store = ObjectStore(pagefile, Rect(0, 0, 1, 1), objects_per_page=8)
+        mapping = store.store(self._items(25))
+        assert len(mapping) == 25
+        assert store.page_count == 4  # ceil(25 / 8)
+        for page_id in store.page_ids():
+            page = pagefile.disk.peek(page_id)
+            assert page.page_type is PageType.OBJECT
+            assert page.level == -1
+            assert 1 <= len(page.entries) <= 8
+
+    def test_every_object_on_its_mapped_page(self):
+        pagefile = PageFile()
+        store = ObjectStore(pagefile, Rect(0, 0, 1, 1), objects_per_page=6)
+        mapping = store.store(self._items(20))
+        for payload, page_id in mapping.items():
+            page = pagefile.disk.peek(page_id)
+            assert any(entry.payload[0] == payload for entry in page.entries)
+
+    def test_zorder_clusters_neighbours(self):
+        """Under z-order packing, spatial neighbours share pages more often
+        than under insertion order with shuffled input."""
+        import random
+
+        rng = random.Random(5)
+        items = self._items(64)
+        shuffled = items[:]
+        rng.shuffle(shuffled)
+
+        def locality(order):
+            pagefile = PageFile()
+            store = ObjectStore(
+                pagefile, Rect(0, 0, 1, 1), objects_per_page=8, order=order
+            )
+            mapping = store.store(shuffled)
+            # Count consecutive object ids sharing a page (ids are spatial
+            # order in _items).
+            return sum(
+                1 for i in range(63) if mapping[i] == mapping[i + 1]
+            )
+
+        assert locality("zorder") > locality("insertion")
+
+
+class TestTreeWithObjects:
+    def test_build_links_every_entry(self, small_dataset):
+        tree, store = build_tree_with_objects(
+            small_dataset, lambda pagefile: RStarTree(pagefile=pagefile)
+        )
+        tree.validate()
+        leaf_ids = [
+            pid
+            for pid in tree.all_page_ids()
+            if tree.pagefile.disk.peek(pid).is_leaf
+        ]
+        for page_id in leaf_ids:
+            for entry in tree.pagefile.disk.peek(page_id).entries:
+                assert entry.child == store.page_of[entry.payload]
+
+    def test_fetch_objects_touches_object_pages(self, small_dataset):
+        tree, store = build_tree_with_objects(
+            small_dataset, lambda pagefile: RStarTree(pagefile=pagefile)
+        )
+        buffer = BufferManager(tree.pagefile.disk, 32, LRU())
+        window = Rect(0.4, 0.4, 0.6, 0.6)
+        with buffer.query_scope():
+            tree.window_query(window, buffer, fetch_objects=True)
+        touched_types = {
+            frame.page.page_type for frame in buffer.frames.values()
+        }
+        assert PageType.OBJECT in touched_types
+
+    def test_without_fetch_objects_no_object_pages(self, small_dataset):
+        tree, store = build_tree_with_objects(
+            small_dataset, lambda pagefile: RStarTree(pagefile=pagefile)
+        )
+        buffer = BufferManager(tree.pagefile.disk, 32, LRU())
+        with buffer.query_scope():
+            tree.window_query(Rect(0.4, 0.4, 0.6, 0.6), buffer)
+        touched_types = {
+            frame.page.page_type for frame in buffer.frames.values()
+        }
+        assert PageType.OBJECT not in touched_types
+
+    def test_lru_t_evicts_object_pages_first(self, small_dataset):
+        tree, store = build_tree_with_objects(
+            small_dataset, lambda pagefile: RStarTree(pagefile=pagefile)
+        )
+        buffer = BufferManager(tree.pagefile.disk, 12, LRUT())
+        for window in (
+            Rect(0.3, 0.3, 0.5, 0.5),
+            Rect(0.5, 0.5, 0.7, 0.7),
+            Rect(0.2, 0.5, 0.4, 0.7),
+        ):
+            with buffer.query_scope():
+                tree.window_query(window, buffer, fetch_objects=True)
+        # Under pressure, the resident set must be dominated by tree pages.
+        object_frames = sum(
+            1
+            for frame in buffer.frames.values()
+            if frame.page.page_type is PageType.OBJECT
+        )
+        assert object_frames <= 1

@@ -1,0 +1,217 @@
+"""Tests for binary page serialization, FileDisk, and tree save/load."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.buffer.manager import BufferManager
+from repro.buffer.policies.asb import ASB
+from repro.buffer.policies.lru import LRU
+from repro.geometry.rect import Rect
+from repro.storage.disk import DiskError
+from repro.storage.page import Page, PageEntry, PageType
+from repro.storage.serialization import (
+    FileDisk,
+    decode_page,
+    encode_page,
+    load_tree,
+    max_entries_for,
+    save_tree,
+)
+
+
+def sample_page(page_id=3, entries=5):
+    page = Page(page_id=page_id, page_type=PageType.DIRECTORY, level=2)
+    for index in range(entries):
+        page.entries.append(
+            PageEntry(
+                mbr=Rect(index * 0.1, 0.0, index * 0.1 + 0.05, 0.5),
+                child=index * 7,
+                payload=None if index % 2 else index,
+            )
+        )
+    return page
+
+
+class TestPageCodec:
+    def test_roundtrip(self):
+        page = sample_page()
+        clone = decode_page(encode_page(page), page.page_id)
+        assert clone.page_type is page.page_type
+        assert clone.level == page.level
+        assert len(clone.entries) == len(page.entries)
+        for original, copied in zip(page.entries, clone.entries):
+            assert copied.mbr == original.mbr
+            assert copied.child == original.child
+            assert copied.payload == original.payload
+
+    def test_fixed_size(self):
+        assert len(encode_page(sample_page(), page_size=4096)) == 4096
+
+    def test_empty_page_roundtrip(self):
+        page = Page(page_id=0, page_type=PageType.DATA, level=0)
+        clone = decode_page(encode_page(page), 0)
+        assert clone.entries == []
+        assert clone.page_type is PageType.DATA
+
+    def test_overfull_page_rejected(self):
+        page = Page(page_id=0, page_type=PageType.DATA)
+        for index in range(max_entries_for(256) + 1):
+            page.entries.append(PageEntry(mbr=Rect(0, 0, 1, 1), payload=index))
+        with pytest.raises(ValueError):
+            encode_page(page, page_size=256)
+
+    def test_non_integer_payload_rejected(self):
+        page = Page(page_id=0, page_type=PageType.DATA)
+        page.entries.append(PageEntry(mbr=Rect(0, 0, 1, 1), payload="name"))
+        with pytest.raises(ValueError):
+            encode_page(page)
+
+    def test_corrupt_magic_rejected(self):
+        blob = bytearray(encode_page(sample_page()))
+        blob[0] = 0xFF
+        with pytest.raises(ValueError):
+            decode_page(bytes(blob), 3)
+
+    def test_truncated_blob_rejected(self):
+        blob = encode_page(sample_page())
+        with pytest.raises(ValueError):
+            decode_page(blob[:3], 3)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-100, max_value=100),
+                st.floats(min_value=-100, max_value=100),
+                st.floats(min_value=0, max_value=10),
+                st.floats(min_value=0, max_value=10),
+                st.integers(min_value=0, max_value=2**40),
+            ),
+            max_size=20,
+        )
+    )
+    def test_roundtrip_property(self, raw_entries):
+        page = Page(page_id=1, page_type=PageType.DATA, level=0)
+        for x, y, w, h, payload in raw_entries:
+            page.entries.append(
+                PageEntry(mbr=Rect(x, y, x + w, y + h), payload=payload)
+            )
+        clone = decode_page(encode_page(page), 1)
+        assert [e.payload for e in clone.entries] == [
+            e.payload for e in page.entries
+        ]
+        for original, copied in zip(page.entries, clone.entries):
+            assert copied.mbr == original.mbr
+
+
+class TestFileDisk:
+    def test_store_read_roundtrip(self, tmp_path):
+        with FileDisk(tmp_path / "pages.db") as disk:
+            disk.store(sample_page(page_id=2))
+            page = disk.read(2)
+            assert page.page_id == 2
+            assert len(page.entries) == 5
+            assert disk.stats.reads == 1
+
+    def test_missing_page_raises(self, tmp_path):
+        with FileDisk(tmp_path / "pages.db") as disk:
+            with pytest.raises(KeyError):
+                disk.read(5)
+
+    def test_persists_across_reopen(self, tmp_path):
+        path = tmp_path / "pages.db"
+        with FileDisk(path) as disk:
+            disk.store(sample_page(page_id=0))
+            disk.store(sample_page(page_id=4))
+        with FileDisk(path) as reopened:
+            assert reopened.page_ids() == [0, 4]
+            assert len(reopened.read(4).entries) == 5
+
+    def test_delete_frees_slot(self, tmp_path):
+        path = tmp_path / "pages.db"
+        with FileDisk(path) as disk:
+            disk.store(sample_page(page_id=1))
+            disk.delete(1)
+            assert 1 not in disk
+        with FileDisk(path) as reopened:
+            assert 1 not in reopened
+
+    def test_failure_injection(self, tmp_path):
+        with FileDisk(tmp_path / "pages.db") as disk:
+            disk.store(sample_page(page_id=1))
+            disk.fail_reads.add(1)
+            with pytest.raises(DiskError):
+                disk.read(1)
+
+    def test_sequential_detection(self, tmp_path):
+        with FileDisk(tmp_path / "pages.db") as disk:
+            for page_id in range(3):
+                disk.store(sample_page(page_id=page_id))
+            disk.read(0)
+            disk.read(1)
+            disk.read(2)
+            assert disk.stats.sequential_reads == 2
+
+    def test_page_size_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            FileDisk(tmp_path / "pages.db", page_size=8)
+
+    def test_buffer_manager_on_file_disk(self, tmp_path):
+        with FileDisk(tmp_path / "pages.db") as disk:
+            for page_id in range(6):
+                disk.store(sample_page(page_id=page_id))
+            buffer = BufferManager(disk, 3, LRU())
+            for page_id in [0, 1, 2, 0, 3, 4, 0, 5]:
+                buffer.fetch(page_id)
+            assert buffer.stats.misses == disk.stats.reads
+            assert len(buffer) <= 3
+
+
+class TestTreeSaveLoad:
+    def test_saved_tree_answers_identically(self, small_tree, tmp_path):
+        path = tmp_path / "tree.db"
+        save_tree(small_tree, path)
+        loaded = load_tree(path)
+        try:
+            window = Rect(0.35, 0.35, 0.6, 0.6)
+            assert sorted(loaded.window_query(window)) == sorted(
+                small_tree.window_query(window)
+            )
+            assert loaded.height == small_tree.height
+            assert loaded.entry_count == small_tree.entry_count
+        finally:
+            loaded.pagefile.disk.close()
+
+    def test_loaded_tree_queryable_through_buffer(self, small_tree, tmp_path):
+        path = tmp_path / "tree.db"
+        save_tree(small_tree, path)
+        loaded = load_tree(path)
+        try:
+            buffer = BufferManager(loaded.pagefile.disk, 16, ASB())
+            window = Rect(0.4, 0.4, 0.55, 0.55)
+            with buffer.query_scope():
+                results = loaded.window_query(window, buffer)
+            assert sorted(results) == sorted(small_tree.window_query(window))
+            assert buffer.stats.misses > 0
+        finally:
+            loaded.pagefile.disk.close()
+
+    def test_mutable_load_supports_updates(self, small_tree, tmp_path):
+        path = tmp_path / "tree.db"
+        save_tree(small_tree, path)
+        loaded = load_tree(path, mutable=True)
+        loaded.insert(Rect(0.01, 0.01, 0.02, 0.02), 999_999)
+        loaded.validate()
+        assert 999_999 in loaded.window_query(Rect(0.0, 0.0, 0.05, 0.05))
+
+    def test_save_overwrites_existing_file(self, small_tree, tmp_path):
+        path = tmp_path / "tree.db"
+        save_tree(small_tree, path)
+        save_tree(small_tree, path)  # must not accumulate stale pages
+        loaded = load_tree(path)
+        try:
+            assert len(loaded.all_page_ids()) == len(small_tree.all_page_ids())
+        finally:
+            loaded.pagefile.disk.close()

@@ -1,0 +1,210 @@
+"""Tests for update streams and buffered index maintenance (via-mode)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.buffer.manager import BufferManager
+from repro.buffer.policies.lru import LRU
+from repro.experiments.harness import replay_mixed
+from repro.geometry.rect import Rect
+from repro.sam.rstar import RStarTree
+from repro.workloads.distributions import uniform_queries
+from repro.workloads.queries import Query, WindowQuery
+from repro.workloads.updates import (
+    Delete,
+    Insert,
+    Move,
+    UpdateOp,
+    interleave,
+    moving_objects_stream,
+    update_stream,
+)
+
+
+@pytest.fixture()
+def small_mutable_tree(small_dataset):
+    tree = RStarTree(max_dir_entries=12, max_data_entries=12)
+    tree.bulk_load(small_dataset.items())
+    return tree
+
+
+class TestUpdateStream:
+    def test_deterministic(self, small_dataset):
+        a = update_stream(small_dataset, 100, seed=3)
+        b = update_stream(small_dataset, 100, seed=3)
+        assert a == b
+
+    def test_length_and_op_mix(self, small_dataset):
+        ops = update_stream(
+            small_dataset, 300, seed=4, insert_fraction=0.4, delete_fraction=0.3
+        )
+        assert len(ops) == 300
+        inserts = sum(1 for op in ops if isinstance(op, Insert))
+        deletes = sum(1 for op in ops if isinstance(op, Delete))
+        moves = sum(1 for op in ops if isinstance(op, Move))
+        assert inserts + deletes + moves == 300
+        assert 60 < inserts < 180
+        assert 30 < deletes < 150
+        assert moves > 30
+
+    def test_invalid_fractions_raise(self, small_dataset):
+        with pytest.raises(ValueError):
+            update_stream(small_dataset, 10, insert_fraction=0.8, delete_fraction=0.5)
+        with pytest.raises(ValueError):
+            update_stream(small_dataset, 10, insert_fraction=-0.1)
+
+    def test_replay_is_consistent(self, small_dataset, small_mutable_tree):
+        """Deletes and moves always target live objects."""
+        ops = update_stream(small_dataset, 400, seed=5)
+        for op in ops:
+            op.apply(small_mutable_tree)  # KeyError would fail the test
+        small_mutable_tree.validate()
+
+    def test_moving_stream_is_pure_moves(self, small_dataset):
+        ops = moving_objects_stream(small_dataset, 50, seed=6)
+        assert all(isinstance(op, Move) for op in ops)
+
+    def test_moves_stay_in_space(self, small_dataset):
+        ops = moving_objects_stream(small_dataset, 200, seed=7)
+        for op in ops:
+            assert small_dataset.space.contains(op.new_mbr)
+
+    def test_delete_missing_object_raises(self, small_mutable_tree):
+        op = Delete(mbr=Rect(0.9, 0.9, 0.91, 0.91), payload=999_999)
+        with pytest.raises(KeyError):
+            op.apply(small_mutable_tree)
+
+
+class TestInterleave:
+    def test_preserves_relative_order(self, small_dataset, unit_space):
+        queries = uniform_queries(unit_space, 20, ex=100, seed=8)
+        updates = update_stream(small_dataset, 20, seed=9)
+        merged = interleave(queries, updates, seed=10)
+        assert len(merged) == 40
+        assert [q for q in merged if isinstance(q, Query)] == queries
+        assert [u for u in merged if isinstance(u, UpdateOp)] == updates
+
+    def test_deterministic(self, small_dataset, unit_space):
+        queries = uniform_queries(unit_space, 10, ex=100, seed=8)
+        updates = update_stream(small_dataset, 10, seed=9)
+        assert interleave(queries, updates, seed=1) == interleave(
+            queries, updates, seed=1
+        )
+
+
+class TestViaMode:
+    def test_updates_through_buffer_charge_accesses(self, small_dataset):
+        tree = RStarTree(max_dir_entries=12, max_data_entries=12)
+        tree.bulk_load(small_dataset.items())
+        buffer = BufferManager(tree.pagefile.disk, 24, LRU())
+        ops = update_stream(small_dataset, 50, seed=11)
+        with tree.via(buffer):
+            for op in ops:
+                with buffer.query_scope():
+                    op.apply(tree)
+        assert buffer.stats.requests > 0
+        assert buffer.stats.misses > 0
+
+    def test_updates_dirty_pages(self, small_dataset):
+        tree = RStarTree(max_dir_entries=12, max_data_entries=12)
+        tree.bulk_load(small_dataset.items())
+        buffer = BufferManager(tree.pagefile.disk, 24, LRU())
+        with tree.via(buffer):
+            tree.insert(Rect(0.5, 0.5, 0.51, 0.51), 999_001)
+        assert any(frame.dirty for frame in buffer.frames.values())
+
+    def test_writebacks_happen_under_pressure(self, small_dataset):
+        tree = RStarTree(max_dir_entries=12, max_data_entries=12)
+        tree.bulk_load(small_dataset.items())
+        buffer = BufferManager(tree.pagefile.disk, 8, LRU())
+        ops = update_stream(small_dataset, 120, seed=12)
+        with tree.via(buffer):
+            for op in ops:
+                op.apply(tree)
+        buffer.flush()
+        assert buffer.stats.writebacks > 0
+
+    def test_via_is_exclusive(self, small_mutable_tree):
+        buffer = BufferManager(small_mutable_tree.pagefile.disk, 8, LRU())
+        with small_mutable_tree.via(buffer):
+            with pytest.raises(RuntimeError):
+                with small_mutable_tree.via(buffer):
+                    pass
+
+    def test_via_restores_build_access(self, small_dataset, small_mutable_tree):
+        buffer = BufferManager(small_mutable_tree.pagefile.disk, 8, LRU())
+        with small_mutable_tree.via(buffer):
+            pass
+        requests_before = buffer.stats.requests
+        small_mutable_tree.window_query(Rect(0.4, 0.4, 0.6, 0.6))
+        assert buffer.stats.requests == requests_before
+
+    def test_queries_inside_via_use_live_accessor(self, small_mutable_tree):
+        buffer = BufferManager(small_mutable_tree.pagefile.disk, 16, LRU())
+        with small_mutable_tree.via(buffer):
+            small_mutable_tree.window_query(Rect(0.4, 0.4, 0.6, 0.6))
+        assert buffer.stats.requests > 0
+
+    def test_tree_correct_after_buffered_updates(self, small_dataset):
+        """Same update stream with and without buffer: identical results."""
+        ops = update_stream(small_dataset, 200, seed=13)
+        plain = RStarTree(max_dir_entries=12, max_data_entries=12)
+        plain.bulk_load(small_dataset.items())
+        for op in ops:
+            op.apply(plain)
+        buffered = RStarTree(max_dir_entries=12, max_data_entries=12)
+        buffered.bulk_load(small_dataset.items())
+        buffer = BufferManager(buffered.pagefile.disk, 12, LRU())
+        with buffered.via(buffer):
+            for op in ops:
+                op.apply(buffered)
+        buffered.validate()
+        window = Rect(0.2, 0.2, 0.8, 0.8)
+        assert sorted(buffered.window_query(window)) == sorted(
+            plain.window_query(window)
+        )
+
+
+class TestReplayMixed:
+    def test_counts_reads_and_writes(self, small_dataset):
+        tree = RStarTree(max_dir_entries=12, max_data_entries=12)
+        tree.bulk_load(small_dataset.items())
+        queries = [WindowQuery(Rect(0.3, 0.3, 0.5, 0.5))] * 10
+        updates = update_stream(small_dataset, 30, seed=14)
+        stream = interleave(list(queries), updates, seed=15)
+        buffer = replay_mixed(tree, stream, LRU(), 16)
+        assert buffer.stats.queries == 40
+        assert buffer.stats.misses > 0
+
+    def test_rejects_foreign_items(self, small_dataset):
+        tree = RStarTree(max_dir_entries=12, max_data_entries=12)
+        tree.bulk_load(small_dataset.items())
+        with pytest.raises(TypeError):
+            replay_mixed(tree, ["not a query"], LRU(), 16)
+
+
+class TestDeallocationThroughBuffer:
+    def test_heavy_churn_via_buffer_matches_plain(self, small_dataset):
+        """Regression for the stale-frame bug: deletes that dissolve pages
+        followed by inserts that reuse the freed ids must behave exactly
+        like the unbuffered run, even with a tiny buffer."""
+        ops = update_stream(
+            small_dataset, 500, seed=77, insert_fraction=0.45, delete_fraction=0.45
+        )
+        plain = RStarTree(max_dir_entries=8, max_data_entries=8)
+        plain.bulk_load(small_dataset.items())
+        for op in ops:
+            op.apply(plain)
+
+        buffered = RStarTree(max_dir_entries=8, max_data_entries=8)
+        buffered.bulk_load(small_dataset.items())
+        buffer = BufferManager(buffered.pagefile.disk, 6, LRU())
+        with buffered.via(buffer):
+            for op in ops:
+                op.apply(buffered)
+        buffered.validate()
+        whole = Rect(0.0, 0.0, 1.0, 1.0)
+        assert sorted(buffered.window_query(whole)) == sorted(
+            plain.window_query(whole)
+        )
