@@ -22,3 +22,12 @@ def test_figure_14_adaptation_trace(benchmark, paper_setup, results_dir):
     # The knob must actually move: the stream's phases pull in different
     # directions.
     assert max(trace) > min(trace)
+    # The adaptation now rides on the buffer-event stream: every knob
+    # movement corresponds to an `adapt` event with a monotone clock.
+    adapt_clocks = result.series["adaptation_clock"]
+    assert adapt_clocks, "ASB must emit adapt events over the mixed stream"
+    assert adapt_clocks == sorted(adapt_clocks)
+    # The rolling hit ratio is sampled once per query alongside the knob.
+    hit_ratios = result.series["rolling_hit_ratio"]
+    assert len(hit_ratios) == len(trace)
+    assert all(0.0 <= ratio <= 1.0 for ratio in hit_ratios)

@@ -50,6 +50,13 @@ from repro.buffer.policies import (
 )
 from repro.datasets.synthetic import Dataset, us_mainland_like, world_atlas_like
 from repro.geometry.rect import Point, Rect
+from repro.obs import (
+    BufferEvent,
+    Fanout,
+    RecordedTrace,
+    TraceRecorder,
+    WindowedMetrics,
+)
 from repro.sam.gridfile import GridFile
 from repro.sam.quadtree import Quadtree
 from repro.sam.rstar import RStarTree
@@ -102,4 +109,10 @@ __all__ = [
     "Dataset",
     "us_mainland_like",
     "world_atlas_like",
+    # observability
+    "BufferEvent",
+    "TraceRecorder",
+    "Fanout",
+    "WindowedMetrics",
+    "RecordedTrace",
 ]

@@ -28,6 +28,7 @@ from repro.storage.page import Page, PageId
 
 if TYPE_CHECKING:
     from repro.buffer.policies.base import ReplacementPolicy
+    from repro.obs.events import EventSink
 
 
 class BufferFullError(RuntimeError):
@@ -42,6 +43,7 @@ class BufferManager:
         disk: SimulatedDisk,
         capacity: int,
         policy: "ReplacementPolicy",
+        observer: "EventSink | None" = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("buffer capacity must be at least 1")
@@ -50,9 +52,14 @@ class BufferManager:
         self.policy = policy
         self.frames: dict[PageId, Frame] = {}
         self.stats = BufferStats()
+        #: Optional event sink (see :mod:`repro.obs`).  ``None`` means every
+        #: emission site reduces to one attribute check — tracing costs
+        #: nothing unless someone listens.
+        self.observer = observer
         self._clock = 0
         self._query_id = 0
         self._in_query = False
+        self._pinned_frames = 0
         policy.attach(self)
 
     # ------------------------------------------------------------------
@@ -97,10 +104,31 @@ class BufferManager:
             # Requests outside any query scope get a fresh query id each, so
             # they are never correlated with one another.
             self._query_id += 1
+        observer = self.observer
+        if observer is not None:
+            observer.emit(
+                BufferEvent(
+                    kind="fetch",
+                    clock=self._clock,
+                    page_id=page_id,
+                    query=self._query_id,
+                )
+            )
         frame = self.frames.get(page_id)
         if frame is not None:
             self.stats.hits += 1
             correlated = frame.last_query == self._query_id
+            if observer is not None:
+                observer.emit(
+                    BufferEvent(
+                        kind="hit",
+                        clock=self._clock,
+                        page_id=page_id,
+                        query=self._query_id,
+                        correlated=correlated,
+                        level=frame.page.level,
+                    )
+                )
             # The policy hook runs before the timestamp renewal so policies
             # can still see the page's recency as of *before* this access
             # (ASB's LRU-criterion comparison relies on that).
@@ -109,6 +137,16 @@ class BufferManager:
             return frame.page
         self.stats.misses += 1
         page = self.disk.read(page_id)
+        if observer is not None:
+            observer.emit(
+                BufferEvent(
+                    kind="miss",
+                    clock=self._clock,
+                    page_id=page_id,
+                    query=self._query_id,
+                    level=page.level,
+                )
+            )
         frame = self._admit(page)
         return frame.page
 
@@ -127,7 +165,18 @@ class BufferManager:
         return frame
 
     def _evict_one(self) -> None:
-        """Ask the policy for a victim and drop it (writing back if dirty)."""
+        """Ask the policy for a victim and drop it (writing back if dirty).
+
+        Raises :class:`BufferFullError` when every resident frame is
+        pinned — guaranteed here at the manager level, so no policy's
+        internal selection (``min()`` over an empty candidate list would
+        surface as an opaque :class:`ValueError`) can leak through.
+        """
+        if self._pinned_frames >= len(self.frames):
+            raise BufferFullError(
+                f"all {len(self.frames)} resident pages are pinned; "
+                "cannot evict to make room"
+            )
         victim_id = self.policy.select_victim()
         frame = self.frames.get(victim_id)
         if frame is None:
@@ -139,11 +188,28 @@ class BufferManager:
         self._drop(frame)
 
     def _drop(self, frame: Frame) -> None:
+        observer = self.observer
         if frame.dirty:
             self.disk.write(frame.page)
             self.stats.writebacks += 1
+            if observer is not None:
+                observer.emit(
+                    BufferEvent(
+                        kind="writeback", clock=self._clock, page_id=frame.page_id
+                    )
+                )
         del self.frames[frame.page_id]
         self.stats.evictions += 1
+        if observer is not None:
+            observer.emit(
+                BufferEvent(
+                    kind="evict",
+                    clock=self._clock,
+                    page_id=frame.page_id,
+                    dirty=frame.dirty,
+                    age=self._clock - frame.loaded_at,
+                )
+            )
         self.policy.on_evict(frame)
 
     def install(self, page: Page) -> None:
@@ -175,6 +241,16 @@ class BufferManager:
         if frame.pinned:
             raise RuntimeError(f"cannot discard pinned page {page_id}")
         del self.frames[page_id]
+        if self.observer is not None:
+            self.observer.emit(
+                BufferEvent(
+                    kind="evict",
+                    clock=self._clock,
+                    page_id=page_id,
+                    dirty=frame.dirty,
+                    age=self._clock - frame.loaded_at,
+                )
+            )
         self.policy.on_evict(frame)
 
     # ------------------------------------------------------------------
@@ -183,13 +259,18 @@ class BufferManager:
 
     def pin(self, page_id: PageId) -> None:
         """Protect a resident page from eviction (e.g. R-tree root pinning)."""
-        self._frame_or_raise(page_id).pin_count += 1
+        frame = self._frame_or_raise(page_id)
+        frame.pin_count += 1
+        if frame.pin_count == 1:
+            self._pinned_frames += 1
 
     def unpin(self, page_id: PageId) -> None:
         frame = self._frame_or_raise(page_id)
         if frame.pin_count == 0:
             raise ValueError(f"page {page_id} is not pinned")
         frame.pin_count -= 1
+        if frame.pin_count == 0:
+            self._pinned_frames -= 1
 
     def mark_dirty(self, page_id: PageId) -> None:
         """Flag a resident page as modified; it is written back on eviction."""
@@ -209,11 +290,20 @@ class BufferManager:
 
     def flush(self) -> None:
         """Write all dirty frames back to disk without evicting them."""
+        observer = self.observer
         for frame in self.frames.values():
             if frame.dirty:
                 self.disk.write(frame.page)
                 self.stats.writebacks += 1
                 frame.dirty = False
+                if observer is not None:
+                    observer.emit(
+                        BufferEvent(
+                            kind="writeback",
+                            clock=self._clock,
+                            page_id=frame.page_id,
+                        )
+                    )
 
     def clear(self) -> None:
         """Empty the buffer (flushing dirty pages) and reset the policy.
@@ -225,6 +315,7 @@ class BufferManager:
         for frame in list(self.frames.values()):
             self.policy.on_evict(frame)
         self.frames.clear()
+        self._pinned_frames = 0
         self.policy.reset()
         self.stats.reset()
 
@@ -240,3 +331,9 @@ class BufferManager:
     def evictable_frames(self) -> list[Frame]:
         """All unpinned frames — the victim universe offered to policies."""
         return [frame for frame in self.frames.values() if not frame.pinned]
+
+
+# Imported last: repro.obs depends on this module for its replay driver, so
+# a top-of-file import would be circular.  By this point every name the obs
+# package needs is defined, and the import succeeds from either direction.
+from repro.obs.events import BufferEvent  # noqa: E402

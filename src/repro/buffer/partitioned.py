@@ -23,6 +23,7 @@ from typing import Iterator, Mapping
 from repro.buffer.manager import BufferManager
 from repro.buffer.policies.base import ReplacementPolicy
 from repro.buffer.stats import BufferStats
+from repro.obs.events import EventSink
 from repro.storage.disk import SimulatedDisk
 from repro.storage.page import Page, PageId, PageType
 
@@ -34,14 +35,16 @@ class PartitionedBufferManager:
         self,
         disk: SimulatedDisk,
         partitions: Mapping[PageType, tuple[int, ReplacementPolicy]],
+        observer: EventSink | None = None,
     ) -> None:
         if not partitions:
             raise ValueError("at least one partition is required")
         self.disk = disk
         self.buffers: dict[PageType, BufferManager] = {
-            page_type: BufferManager(disk, capacity, policy)
+            page_type: BufferManager(disk, capacity, policy, observer=observer)
             for page_type, (capacity, policy) in partitions.items()
         }
+        self._observer = observer
 
     # ------------------------------------------------------------------
     # Page requests
@@ -88,6 +91,26 @@ class PartitionedBufferManager:
     def clear(self) -> None:
         for buffer in self.buffers.values():
             buffer.clear()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    @property
+    def observer(self) -> EventSink | None:
+        """The event sink shared by all partitions (see :mod:`repro.obs`).
+
+        Each partition keeps its own logical clock, so events from
+        different pools interleave in emission order; consumers that need
+        the partition can route by the event's page id.
+        """
+        return self._observer
+
+    @observer.setter
+    def observer(self, sink: EventSink | None) -> None:
+        self._observer = sink
+        for buffer in self.buffers.values():
+            buffer.observer = sink
 
     # ------------------------------------------------------------------
     # Introspection

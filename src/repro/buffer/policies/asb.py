@@ -41,6 +41,7 @@ from repro.buffer.frames import Frame
 from repro.buffer.manager import BufferFullError, BufferManager
 from repro.buffer.policies.base import ReplacementPolicy
 from repro.buffer.policies.spatial import SPATIAL_CRITERIA, spatial_criterion
+from repro.obs.events import BufferEvent
 from repro.storage.page import PageId
 
 
@@ -130,6 +131,15 @@ class ASB(ReplacementPolicy):
         if len(self._main) >= self.main_capacity:
             self._demote_main_victim()
         self._main.add(frame.page_id)
+        observer = self.observer
+        if observer is not None:
+            observer.emit(
+                BufferEvent(
+                    kind="promote",
+                    clock=self.buffer.clock,
+                    page_id=frame.page_id,
+                )
+            )
 
     def on_evict(self, frame: Frame) -> None:
         self._main.discard(frame.page_id)
@@ -160,6 +170,7 @@ class ASB(ReplacementPolicy):
                 better_spatial += 1
             if other.last_access > recency_p:
                 better_lru += 1
+        before = self._candidate_size
         if better_spatial > better_lru:
             # The spatial ranking kept the wrong pages: lean towards LRU.
             self._candidate_size = max(1, self._candidate_size - self._step)
@@ -170,6 +181,17 @@ class ASB(ReplacementPolicy):
             )
         if self.record_trace:
             self.trace.append((self.buffer.clock, self._candidate_size))
+        observer = self.observer
+        if observer is not None:
+            observer.emit(
+                BufferEvent(
+                    kind="adapt",
+                    clock=self.buffer.clock,
+                    page_id=promoted.page_id,
+                    size=self._candidate_size,
+                    delta=self._candidate_size - before,
+                )
+            )
 
     # ------------------------------------------------------------------
     # Victim selection

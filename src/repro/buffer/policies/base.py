@@ -19,6 +19,7 @@ from repro.storage.page import PageId
 
 if TYPE_CHECKING:
     from repro.buffer.manager import BufferManager
+    from repro.obs.events import EventSink
 
 
 class ReplacementPolicy(abc.ABC):
@@ -45,6 +46,17 @@ class ReplacementPolicy(abc.ABC):
         if self._buffer is None:
             raise RuntimeError("policy is not attached to a buffer manager")
         return self._buffer
+
+    @property
+    def observer(self) -> "EventSink | None":
+        """The buffer's event sink, if any (see :mod:`repro.obs`).
+
+        Policies with decisions of their own (ASB's promotion and
+        adaptation) emit through this; ``None`` when tracing is off or the
+        policy is unattached, so emission sites cost one check.
+        """
+        buffer = self._buffer
+        return None if buffer is None else buffer.observer
 
     # ------------------------------------------------------------------
     # Event hooks — default implementations do nothing

@@ -6,6 +6,10 @@ Four commands cover the common workflows without writing any code:
 * ``dataset`` — generate and describe a synthetic dataset;
 * ``trace`` — record the page-access trace of a query set to JSON;
 * ``replay`` — replay a recorded trace against a replacement policy;
+* ``events`` — record or replay a full buffer-event trace (JSON lines):
+  ``events record`` runs a query set under a policy with tracing on,
+  ``events replay`` re-runs a recorded trace (optionally under a different
+  policy), verifies determinism, and prints windowed metrics;
 * ``advise`` — recommend a buffer size and policy for a recorded trace;
 * ``map`` — render a dataset (and optionally a query set) as ASCII density
   maps;
@@ -18,6 +22,8 @@ Examples::
     python -m repro dataset db2 --objects 50000
     python -m repro trace --set INT-W-100 --out /tmp/trace.json
     python -m repro replay /tmp/trace.json --policy ASB --capacity 64
+    python -m repro events record --set S-W-100 --policy ASB --out /tmp/t.jsonl
+    python -m repro events replay /tmp/t.jsonl --policy LRU
 """
 
 from __future__ import annotations
@@ -118,6 +124,38 @@ def _build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--capacity", type=int, default=64,
                         help="buffer size in pages")
 
+    events = commands.add_parser(
+        "events", help="record / replay full buffer-event traces (JSON lines)"
+    )
+    events_commands = events.add_subparsers(dest="events_command", required=True)
+
+    events_record = events_commands.add_parser(
+        "record", help="run a query set with tracing on, save the event trace"
+    )
+    events_record.add_argument("--set", dest="set_name", default="S-W-100",
+                               help="query set name (e.g. U-P, INT-W-33)")
+    events_record.add_argument("--policy", default="ASB",
+                               choices=sorted(POLICY_FACTORIES))
+    events_record.add_argument("--capacity", type=int, default=64,
+                               help="buffer size in pages")
+    events_record.add_argument("--out", required=True,
+                               help="output JSON-lines path")
+    events_record.add_argument("--objects", type=int, default=20_000)
+    events_record.add_argument("--queries", type=int, default=200)
+    events_record.add_argument("--seed", type=int, default=7)
+
+    events_replay = events_commands.add_parser(
+        "replay", help="re-run a recorded event trace, verify determinism"
+    )
+    events_replay.add_argument("trace", help="event-trace JSON-lines path")
+    events_replay.add_argument("--policy", default=None,
+                               choices=sorted(POLICY_FACTORIES),
+                               help="replay policy (default: as recorded)")
+    events_replay.add_argument("--capacity", type=int, default=None,
+                               help="buffer size (default: as recorded)")
+    events_replay.add_argument("--window", type=int, default=256,
+                               help="rolling hit-ratio window")
+
     advise = commands.add_parser(
         "advise", help="recommend buffer size and policy for a trace"
     )
@@ -213,6 +251,96 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_events(args: argparse.Namespace) -> int:
+    if args.events_command == "record":
+        return _cmd_events_record(args)
+    return _cmd_events_replay(args)
+
+
+def _cmd_events_record(args: argparse.Namespace) -> int:
+    from repro.datasets.synthetic import us_mainland_like
+    from repro.experiments.harness import build_database
+    from repro.experiments.trace import record_event_trace, record_trace
+
+    database = build_database(
+        us_mainland_like(n_objects=args.objects, seed=args.seed)
+    )
+    query_set = database.query_set(args.set_name, args.queries, args.seed)
+    access_trace = record_trace(database.tree, query_set)
+    policy = POLICY_FACTORIES[args.policy]()
+    recorded = record_event_trace(access_trace, policy, args.capacity)
+    recorded.save(args.out)
+    by_kind = {}
+    for event in recorded.events:
+        by_kind[event.kind] = by_kind.get(event.kind, 0) + 1
+    kinds = ", ".join(f"{kind}={count}" for kind, count in sorted(by_kind.items()))
+    print(
+        f"recorded {len(recorded)} events ({kinds}) for {args.policy} @ "
+        f"{args.capacity} pages -> {args.out}"
+    )
+    print(
+        f"hit ratio {recorded.stats['hit_ratio']:.1%} over "
+        f"{int(recorded.stats['requests'])} requests"
+    )
+    return 0
+
+
+def _cmd_events_replay(args: argparse.Namespace) -> int:
+    from repro.obs import RecordedTrace, WindowedMetrics, replay_recorded
+    from repro.obs.trace import disk_from_catalogue, drive_requests
+    from repro.buffer.manager import BufferManager
+
+    recorded = RecordedTrace.load(args.trace)
+    policy_name = args.policy or recorded.policy
+    if policy_name not in POLICY_FACTORIES:
+        print(f"unknown recorded policy {policy_name!r}; pass --policy",
+              file=sys.stderr)
+        return 2
+    capacity = args.capacity or recorded.capacity
+    policy = POLICY_FACTORIES[policy_name]()
+    replayed = replay_recorded(recorded, policy, capacity)
+    print(
+        f"{policy_name} @ {capacity} pages: "
+        f"{int(replayed.stats['misses'])} disk reads, "
+        f"{int(replayed.stats['hits'])} hits "
+        f"(hit ratio {replayed.stats['hit_ratio']:.1%}) over "
+        f"{int(replayed.stats['requests'])} requests"
+    )
+    same_setup = policy_name == recorded.policy and capacity == recorded.capacity
+    if same_setup:
+        identical = (
+            replayed.events == recorded.events
+            and replayed.stats == recorded.stats
+        )
+        verdict = "verified" if identical else "FAILED"
+        print(f"deterministic replay {verdict}: "
+              f"{len(replayed)} events vs {len(recorded)} recorded")
+        if not identical:
+            return 1
+    # Windowed metrics of the replayed stream.
+    metrics = WindowedMetrics(window=args.window)
+    buffer = BufferManager(
+        disk_from_catalogue(recorded.catalogue),
+        capacity,
+        POLICY_FACTORIES[policy_name](),
+        observer=metrics,
+    )
+    drive_requests(buffer, recorded.requests())
+    summary = metrics.summary()
+    print(f"rolling hit ratio (last {summary['window']}): "
+          f"{summary['rolling_hit_ratio']:.1%}")
+    ages = ", ".join(
+        f"<={bound}: {count}" for bound, count in summary["eviction_age_buckets"]
+    )
+    print(f"eviction ages ({summary['evictions']} evictions): {ages or 'none'}")
+    levels = ", ".join(
+        f"level {level}: {ratio:.1%}"
+        for level, ratio in summary["level_hit_ratios"].items()
+    )
+    print(f"hit ratio by level: {levels or 'n/a'}")
+    return 0
+
+
 def _cmd_advise(args: argparse.Namespace) -> int:
     from repro.experiments.advisor import advise_from_trace
     from repro.experiments.trace import AccessTrace
@@ -282,6 +410,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "dataset": _cmd_dataset,
         "trace": _cmd_trace,
         "replay": _cmd_replay,
+        "events": _cmd_events,
         "advise": _cmd_advise,
         "map": _cmd_map,
         "reproduce": _cmd_reproduce,

@@ -23,7 +23,12 @@ from repro.experiments.analysis import (
     stack_distances,
 )
 from repro.experiments.report import format_gain, format_table
-from repro.experiments.trace import AccessTrace, record_trace, replay_trace
+from repro.experiments.trace import (
+    AccessTrace,
+    record_event_trace,
+    record_trace,
+    replay_trace,
+)
 
 __all__ = [
     "BUFFER_FRACTIONS",
@@ -44,5 +49,6 @@ __all__ = [
     "stack_distances",
     "AccessTrace",
     "record_trace",
+    "record_event_trace",
     "replay_trace",
 ]

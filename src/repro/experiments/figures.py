@@ -21,6 +21,8 @@ from repro.buffer.policies.lru_p import LRUP
 from repro.buffer.policies.slru import SLRU
 from repro.buffer.policies.spatial import SpatialPolicy
 from repro.datasets.synthetic import us_mainland_like, world_atlas_like
+from repro.obs.events import Fanout, TraceRecorder
+from repro.obs.windows import WindowedMetrics
 from repro.experiments.harness import (
     Database,
     buffer_capacity,
@@ -467,11 +469,25 @@ def figure_14(
     capacity = buffer_capacity(database, fraction)
     policy = ASB(record_trace=True)
     sizes: list[float] = []
+    # The event stream drives both the adaptation record and the rolling
+    # hit ratio; Figure 14's story ("the knob follows the phase changes")
+    # becomes visible as adapt events moving the hit ratio.
+    adaptations = TraceRecorder(kinds=("adapt",))
+    metrics = WindowedMetrics(window=max(64, capacity))
+    hit_ratios: list[float] = []
 
     def sample(position: int, buffer) -> None:
         sizes.append(float(policy.candidate_size))
+        hit_ratios.append(metrics.rolling.ratio)
 
-    replay(database.tree, mixed, policy, capacity, after_query=sample)
+    replay(
+        database.tree,
+        mixed,
+        policy,
+        capacity,
+        after_query=sample,
+        observer=Fanout(adaptations, metrics),
+    )
     rows: list[list[object]] = []
     for index, phase in enumerate(phases):
         phase_sizes = sizes[index * count : (index + 1) * count]
@@ -492,9 +508,14 @@ def figure_14(
         rows=rows,
         notes=(
             f"buffer = {capacity} pages, main part = {policy.main_capacity}, "
-            f"overflow = {policy.overflow_capacity}"
+            f"overflow = {policy.overflow_capacity}, "
+            f"{len(adaptations.events)} adaptation events"
         ),
-        series={"candidate_size": sizes},
+        series={
+            "candidate_size": sizes,
+            "rolling_hit_ratio": hit_ratios,
+            "adaptation_clock": [float(e.clock) for e in adaptations.events],
+        },
     )
 
 

@@ -97,14 +97,16 @@ def replay(
     policy: ReplacementPolicy,
     capacity: int,
     after_query: Callable[[int, BufferManager], None] | None = None,
+    observer=None,
 ) -> BufferManager:
     """Run a query set against a fresh buffer; return the buffer (stats).
 
     ``after_query`` is an optional hook called with (query index, buffer)
     after each query — used e.g. to sample ASB's candidate-set size for
-    Figure 14.
+    Figure 14.  ``observer`` is an optional event sink receiving the
+    buffer-event stream (see :mod:`repro.obs`).
     """
-    buffer = BufferManager(index.pagefile.disk, capacity, policy)
+    buffer = BufferManager(index.pagefile.disk, capacity, policy, observer=observer)
     for position, query in enumerate(query_set):
         with buffer.query_scope():
             query.run(index, buffer)
@@ -118,6 +120,7 @@ def replay_mixed(
     stream: list,
     policy: ReplacementPolicy,
     capacity: int,
+    observer=None,
 ) -> BufferManager:
     """Run a mixed query/update stream through a buffer.
 
@@ -131,7 +134,7 @@ def replay_mixed(
     from repro.workloads.queries import Query
     from repro.workloads.updates import UpdateOp
 
-    buffer = BufferManager(index.pagefile.disk, capacity, policy)
+    buffer = BufferManager(index.pagefile.disk, capacity, policy, observer=observer)
     with index.via(buffer):
         for item in stream:
             with buffer.query_scope():

@@ -23,10 +23,16 @@ from typing import Iterable
 from repro.buffer.manager import BufferManager
 from repro.buffer.policies.base import ReplacementPolicy
 from repro.buffer.stats import BufferStats
-from repro.geometry.rect import Rect
+from repro.obs.events import EventSink
+from repro.obs.trace import (
+    RecordedTrace,
+    disk_from_catalogue,
+    drive_requests,
+    record_run,
+)
 from repro.sam.base import SpatialIndex
 from repro.storage.disk import SimulatedDisk
-from repro.storage.page import Page, PageEntry, PageId, PageType
+from repro.storage.page import Page, PageId
 from repro.workloads.queries import Query
 
 
@@ -125,37 +131,38 @@ def trace_disk(trace: AccessTrace) -> SimulatedDisk:
     Entry payloads are synthetic (the entry index); the spatial policies
     only read MBRs, types and levels, which are reproduced faithfully.
     """
-    disk = SimulatedDisk()
-    for page_id, (type_value, level, mbrs) in trace.catalogue.items():
-        page = Page(
-            page_id=page_id, page_type=PageType(type_value), level=level
-        )
-        for index, mbr in enumerate(mbrs):
-            page.entries.append(PageEntry(mbr=Rect(*mbr), payload=index))
-        disk.store(page)
-    return disk
+    return disk_from_catalogue(trace.catalogue)
 
 
 def replay_trace(
-    trace: AccessTrace, policy: ReplacementPolicy, capacity: int
+    trace: AccessTrace,
+    policy: ReplacementPolicy,
+    capacity: int,
+    observer: EventSink | None = None,
 ) -> BufferStats:
     """Replay a trace against a fresh buffer; returns the buffer statistics.
 
     References sharing a query index run inside one query scope, so the
-    correlation semantics match the live run that produced the trace.
+    correlation semantics match the live run that produced the trace.  An
+    optional ``observer`` receives the buffer-event stream of the replay
+    (see :mod:`repro.obs`).
     """
     disk = trace_disk(trace)
-    buffer = BufferManager(disk, capacity, policy)
-    current_query: int | None = None
-    scope = None
-    for page_id, query in trace.references:
-        if query != current_query:
-            if scope is not None:
-                scope.__exit__(None, None, None)
-            scope = buffer.query_scope()
-            scope.__enter__()
-            current_query = query
-        buffer.fetch(page_id)
-    if scope is not None:
-        scope.__exit__(None, None, None)
+    buffer = BufferManager(disk, capacity, policy, observer=observer)
+    drive_requests(buffer, trace.references)
     return buffer.stats
+
+
+def record_event_trace(
+    trace: AccessTrace, policy: ReplacementPolicy, capacity: int
+) -> RecordedTrace:
+    """Replay an access trace with full event tracing; returns the record.
+
+    Bridges the two trace layers: an :class:`AccessTrace` captures *what
+    was requested* (policy-independent), the returned
+    :class:`~repro.obs.trace.RecordedTrace` additionally captures *what the
+    buffer decided* (hits, evictions, ASB adaptations) and can itself be
+    replayed deterministically via
+    :func:`~repro.obs.trace.replay_recorded`.
+    """
+    return record_run(trace.references, trace_disk(trace), policy, capacity)

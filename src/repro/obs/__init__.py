@@ -1,0 +1,62 @@
+"""Observability: a typed event stream over the buffer subsystem.
+
+The buffer manager, the partitioned buffer and the policies emit
+:class:`~repro.obs.events.BufferEvent` records through a pluggable
+*observer* (any object with an ``emit(event)`` method).  When no observer
+is attached the hooks cost a single attribute check per event site, so
+production replays pay nothing for the machinery.
+
+Three layers build on the stream:
+
+* sinks (:mod:`repro.obs.events`) — :class:`TraceRecorder` collects events,
+  :class:`Fanout` tees one stream into several consumers;
+* windowed metrics (:mod:`repro.obs.windows`) — rolling hit ratio,
+  eviction-age histogram and per-level hit counters, all incremental;
+* traces (:mod:`repro.obs.trace`) — :class:`RecordedTrace` bundles the
+  event stream with the page catalogue and final statistics, serialises to
+  JSON lines, and replays deterministically against any policy.
+
+Because every timestamp in the buffer is logical (one tick per request),
+recording a workload and replaying its request stream through
+:func:`replay_recorded` reproduces the original event stream and
+statistics bit for bit — the contract the golden-trace regression tests
+pin down.
+"""
+
+from repro.obs.events import (
+    EVENT_KINDS,
+    BufferEvent,
+    EventSink,
+    Fanout,
+    TraceRecorder,
+)
+from repro.obs.trace import (
+    RecordedTrace,
+    disk_from_catalogue,
+    drive_requests,
+    record_run,
+    replay_recorded,
+)
+from repro.obs.windows import (
+    EvictionAgeHistogram,
+    LevelHitCounters,
+    RollingHitRatio,
+    WindowedMetrics,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "BufferEvent",
+    "EventSink",
+    "Fanout",
+    "TraceRecorder",
+    "RollingHitRatio",
+    "EvictionAgeHistogram",
+    "LevelHitCounters",
+    "WindowedMetrics",
+    "RecordedTrace",
+    "disk_from_catalogue",
+    "drive_requests",
+    "record_run",
+    "replay_recorded",
+]

@@ -1,0 +1,96 @@
+"""Buffer events and the observer protocol.
+
+An event is one decision point in the buffer's life, stamped with the
+buffer's logical clock.  The seven kinds and their field usage:
+
+==========  ==========================================================
+fetch       a page was requested (``page_id``, ``query``)
+hit         the request was served from a frame (``correlated``,
+            ``level`` of the resident page)
+miss        the request went to disk (``level`` of the loaded page)
+evict       a frame left the buffer (``dirty`` at drop time, ``age`` =
+            clock - loaded_at)
+writeback   a dirty page was written to disk (eviction or flush)
+promote     ASB moved an overflow page back to the main part
+adapt       ASB re-tuned its candidate set (``size`` = new size,
+            ``delta`` = signed step, 0 when the criteria tied)
+==========  ==========================================================
+
+Emission order within one request is fixed: ``fetch`` first, then either
+``hit`` (followed by any policy events such as ``adapt``/``promote``) or
+``miss`` followed by the eviction it forced (``writeback`` before
+``evict``).  ``clear()`` emits nothing — it resets the world rather than
+evolving it.
+
+Unused fields stay ``None`` and are dropped from the JSON form, so trace
+files stay compact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Iterable, Protocol
+
+#: The closed set of event kinds, in canonical order.
+EVENT_KINDS = ("fetch", "hit", "miss", "evict", "writeback", "promote", "adapt")
+
+
+@dataclass(slots=True, frozen=True)
+class BufferEvent:
+    """One buffer decision, stamped with the logical clock."""
+
+    kind: str
+    clock: int
+    page_id: int | None = None
+    query: int | None = None
+    correlated: bool | None = None
+    level: int | None = None
+    dirty: bool | None = None
+    age: int | None = None
+    size: int | None = None
+    delta: int | None = None
+
+    def to_dict(self) -> dict:
+        """A compact dict: ``None`` fields are omitted."""
+        return {
+            key: value for key, value in asdict(self).items() if value is not None
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BufferEvent":
+        return cls(**data)
+
+
+class EventSink(Protocol):
+    """Anything that can consume buffer events (duck-typed)."""
+
+    def emit(self, event: BufferEvent) -> None: ...
+
+
+class TraceRecorder:
+    """Collects events into a list, optionally filtered by kind."""
+
+    def __init__(self, kinds: Iterable[str] | None = None) -> None:
+        self.events: list[BufferEvent] = []
+        self._kinds = frozenset(kinds) if kinds is not None else None
+
+    def emit(self, event: BufferEvent) -> None:
+        if self._kinds is None or event.kind in self._kinds:
+            self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class Fanout:
+    """Tees one event stream into several sinks, in order."""
+
+    def __init__(self, *sinks: EventSink) -> None:
+        self.sinks = list(sinks)
+
+    def emit(self, event: BufferEvent) -> None:
+        for sink in self.sinks:
+            sink.emit(event)

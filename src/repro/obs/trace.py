@@ -1,0 +1,232 @@
+"""Recorded event traces: JSON-lines persistence and deterministic replay.
+
+A :class:`RecordedTrace` is a self-contained run record: the policy name
+and capacity, a catalogue of the page metadata the policies consume (type,
+level, entry MBRs), the full event stream, and the final statistics
+snapshot.  Because every buffer timestamp is logical, re-running the
+trace's request stream (its ``fetch`` events) against the same policy
+class reproduces the event stream and the statistics exactly — a recorded
+trace is therefore both a debugging artefact and a golden regression
+fixture.
+
+File format (JSON lines): the first line is a header object carrying
+``format``/``version``, policy, capacity, stats and the catalogue; each
+following line is one event (``None`` fields omitted).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.buffer.manager import BufferManager
+from repro.buffer.policies.base import ReplacementPolicy
+from repro.geometry.rect import Rect
+from repro.obs.events import BufferEvent, TraceRecorder
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import Page, PageEntry, PageId, PageType
+
+FORMAT_NAME = "repro-obs-trace"
+FORMAT_VERSION = 1
+
+#: page_id -> (page_type value, level, [entry mbr tuples]) — the same
+#: catalogue shape as :class:`repro.experiments.trace.AccessTrace`.
+Catalogue = dict[PageId, tuple[str, int, list[tuple[float, float, float, float]]]]
+
+
+def catalogue_page(catalogue: Catalogue, page: Page) -> None:
+    """Add a page's policy-visible metadata to a catalogue (idempotent)."""
+    if page.page_id not in catalogue:
+        catalogue[page.page_id] = (
+            page.page_type.value,
+            page.level,
+            [entry.mbr.as_tuple() for entry in page.entries],
+        )
+
+
+def disk_from_catalogue(catalogue: Catalogue) -> SimulatedDisk:
+    """A fresh simulated disk holding reconstructions of catalogued pages.
+
+    Entry payloads are synthetic (the entry index); the policies only read
+    MBRs, types and levels, which are reproduced faithfully.
+    """
+    disk = SimulatedDisk()
+    for page_id, (type_value, level, mbrs) in catalogue.items():
+        page = Page(page_id=page_id, page_type=PageType(type_value), level=level)
+        for index, mbr in enumerate(mbrs):
+            page.entries.append(PageEntry(mbr=Rect(*mbr), payload=index))
+        disk.store(page)
+    return disk
+
+
+def drive_requests(
+    buffer: BufferManager, requests: Iterable[tuple[PageId, int]]
+) -> None:
+    """Fetch a ``(page_id, query)`` stream, bracketing query scopes.
+
+    Consecutive references sharing a query index run inside one query
+    scope, so correlation semantics match the live run that produced the
+    stream.
+    """
+    current_query: int | None = None
+    scope = None
+    for page_id, query in requests:
+        if query != current_query:
+            if scope is not None:
+                scope.__exit__(None, None, None)
+            scope = buffer.query_scope()
+            scope.__enter__()
+            current_query = query
+        buffer.fetch(page_id)
+    if scope is not None:
+        scope.__exit__(None, None, None)
+
+
+@dataclass(slots=True)
+class RecordedTrace:
+    """An event stream plus everything needed to replay it."""
+
+    policy: str
+    capacity: int
+    catalogue: Catalogue = field(default_factory=dict)
+    events: list[BufferEvent] = field(default_factory=list)
+    stats: dict[str, float] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def requests(self) -> list[tuple[PageId, int]]:
+        """The request stream: ``(page_id, query)`` per ``fetch`` event."""
+        return [
+            (event.page_id, event.query)
+            for event in self.events
+            if event.kind == "fetch"
+        ]
+
+    def events_of(self, *kinds: str) -> list[BufferEvent]:
+        wanted = frozenset(kinds)
+        return [event for event in self.events if event.kind in wanted]
+
+    # ------------------------------------------------------------------
+    # Persistence (JSON lines)
+    # ------------------------------------------------------------------
+
+    def header(self) -> dict:
+        return {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "policy": self.policy,
+            "capacity": self.capacity,
+            "stats": self.stats,
+            "catalogue": {
+                str(page_id): [type_value, level, [list(mbr) for mbr in mbrs]]
+                for page_id, (type_value, level, mbrs) in self.catalogue.items()
+            },
+        }
+
+    def to_jsonl(self) -> str:
+        lines = [json.dumps(self.header())]
+        lines.extend(json.dumps(event.to_dict()) for event in self.events)
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "RecordedTrace":
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            raise ValueError("empty trace file")
+        header = json.loads(lines[0])
+        if header.get("format") != FORMAT_NAME:
+            raise ValueError(f"not a {FORMAT_NAME} file")
+        if header.get("version") != FORMAT_VERSION:
+            raise ValueError(f"unsupported trace version {header.get('version')!r}")
+        trace = cls(
+            policy=header["policy"],
+            capacity=header["capacity"],
+            stats=header.get("stats", {}),
+        )
+        trace.catalogue = {
+            int(page_id): (
+                type_value,
+                level,
+                [tuple(mbr) for mbr in mbrs],
+            )
+            for page_id, (type_value, level, mbrs) in header["catalogue"].items()
+        }
+        trace.events = [
+            BufferEvent.from_dict(json.loads(line)) for line in lines[1:]
+        ]
+        return trace
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_jsonl(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RecordedTrace":
+        return cls.from_jsonl(Path(path).read_text(encoding="utf-8"))
+
+
+# ----------------------------------------------------------------------
+# Recording and replay
+# ----------------------------------------------------------------------
+
+
+def record_run(
+    requests: Sequence[tuple[PageId, int]],
+    disk: SimulatedDisk,
+    policy: ReplacementPolicy,
+    capacity: int,
+) -> RecordedTrace:
+    """Run a request stream with tracing on; return the recorded trace.
+
+    The referenced pages are catalogued from ``disk`` (via ``peek``, so the
+    source disk's access statistics are untouched) and the run executes on
+    a reconstruction — recording a trace never perturbs the system under
+    observation.
+    """
+    requests = list(requests)
+    catalogue: Catalogue = {}
+    for page_id, _ in requests:
+        if page_id not in catalogue:
+            catalogue_page(catalogue, disk.peek(page_id))
+    recorder = TraceRecorder()
+    buffer = BufferManager(disk_from_catalogue(catalogue), capacity, policy)
+    buffer.observer = recorder
+    drive_requests(buffer, requests)
+    return RecordedTrace(
+        policy=policy.name,
+        capacity=capacity,
+        catalogue=catalogue,
+        events=recorder.events,
+        stats=buffer.stats.snapshot(),
+    )
+
+
+def replay_recorded(
+    trace: RecordedTrace,
+    policy: ReplacementPolicy,
+    capacity: int | None = None,
+) -> RecordedTrace:
+    """Re-run a recorded trace's request stream against ``policy``.
+
+    Returns a fresh :class:`RecordedTrace` over the same catalogue.  With
+    the same policy class and capacity as the recording, the returned
+    events and stats are identical to the original — the determinism
+    contract the golden-trace tests assert.  With a different policy or
+    capacity this is a counterfactual replay: same requests, different
+    decisions.
+    """
+    if capacity is None:
+        capacity = trace.capacity
+    recorder = TraceRecorder()
+    buffer = BufferManager(disk_from_catalogue(trace.catalogue), capacity, policy)
+    buffer.observer = recorder
+    drive_requests(buffer, trace.requests())
+    return RecordedTrace(
+        policy=policy.name,
+        capacity=capacity,
+        catalogue=dict(trace.catalogue),
+        events=recorder.events,
+        stats=buffer.stats.snapshot(),
+    )

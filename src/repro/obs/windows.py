@@ -1,0 +1,143 @@
+"""Windowed metrics over the buffer-event stream.
+
+Aggregate counters (:class:`~repro.buffer.stats.BufferStats`) answer "how
+did the whole run go"; these consumers answer "how is the run going" —
+they update incrementally from events, so adaptation dynamics (the paper's
+Figure 14 story) become observable while a workload executes:
+
+* :class:`RollingHitRatio` — hit ratio over the last *N* requests, the
+  signal that drifts when a phase change outruns the policy;
+* :class:`EvictionAgeHistogram` — how long pages lived before eviction
+  (logical ticks, power-of-two buckets): LRU-like behaviour shows a
+  tight band, spatial criteria a long tail of short-lived large pages;
+* :class:`LevelHitCounters` — hits/misses per tree level, the data behind
+  the LRU-P/LRU-T priority arguments (directory pages should hit more);
+* :class:`WindowedMetrics` — all three behind one sink.
+
+Every metric is a valid observer (``emit(event)``) and ignores event kinds
+it does not consume, so they can be attached directly or fanned out.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.obs.events import BufferEvent
+
+
+class RollingHitRatio:
+    """Hit ratio over a sliding window of the last ``window`` requests."""
+
+    def __init__(self, window: int = 256) -> None:
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        self.window = window
+        self._outcomes: deque[bool] = deque(maxlen=window)
+        self._window_hits = 0
+        self.requests = 0
+        self.hits = 0
+
+    def emit(self, event: BufferEvent) -> None:
+        if event.kind == "hit":
+            self._push(True)
+        elif event.kind == "miss":
+            self._push(False)
+
+    def _push(self, hit: bool) -> None:
+        self.requests += 1
+        self.hits += int(hit)
+        if len(self._outcomes) == self.window:
+            self._window_hits -= int(self._outcomes[0])
+        self._outcomes.append(hit)
+        self._window_hits += int(hit)
+
+    @property
+    def ratio(self) -> float:
+        """Hit ratio of the current window (0.0 before any request)."""
+        if not self._outcomes:
+            return 0.0
+        return self._window_hits / len(self._outcomes)
+
+    @property
+    def overall_ratio(self) -> float:
+        if self.requests == 0:
+            return 0.0
+        return self.hits / self.requests
+
+
+class EvictionAgeHistogram:
+    """Distribution of frame lifetimes (eviction clock - load clock).
+
+    Ages land in power-of-two buckets: bucket ``k`` holds ages in
+    ``[2**(k-1) + 1, 2**k]`` (bucket 0 holds age <= 1), which keeps the
+    histogram compact for arbitrarily long runs.
+    """
+
+    def __init__(self) -> None:
+        self.counts: dict[int, int] = {}
+        self.total = 0
+
+    def emit(self, event: BufferEvent) -> None:
+        if event.kind != "evict" or event.age is None:
+            return
+        bucket = max(0, event.age - 1).bit_length()
+        self.counts[bucket] = self.counts.get(bucket, 0) + 1
+        self.total += 1
+
+    def buckets(self) -> list[tuple[int, int]]:
+        """Sorted ``(bucket upper bound, count)`` pairs."""
+        return [(2**bucket, self.counts[bucket]) for bucket in sorted(self.counts)]
+
+
+class LevelHitCounters:
+    """Hits and misses per page level (0 = leaves, -1 = object pages)."""
+
+    def __init__(self) -> None:
+        self.hits: dict[int, int] = {}
+        self.misses: dict[int, int] = {}
+
+    def emit(self, event: BufferEvent) -> None:
+        if event.level is None:
+            return
+        if event.kind == "hit":
+            self.hits[event.level] = self.hits.get(event.level, 0) + 1
+        elif event.kind == "miss":
+            self.misses[event.level] = self.misses.get(event.level, 0) + 1
+
+    def levels(self) -> list[int]:
+        return sorted(set(self.hits) | set(self.misses))
+
+    def ratio(self, level: int) -> float:
+        hits = self.hits.get(level, 0)
+        total = hits + self.misses.get(level, 0)
+        if total == 0:
+            return 0.0
+        return hits / total
+
+
+class WindowedMetrics:
+    """The three windowed metrics behind a single observer."""
+
+    def __init__(self, window: int = 256) -> None:
+        self.rolling = RollingHitRatio(window)
+        self.eviction_ages = EvictionAgeHistogram()
+        self.level_hits = LevelHitCounters()
+
+    def emit(self, event: BufferEvent) -> None:
+        self.rolling.emit(event)
+        self.eviction_ages.emit(event)
+        self.level_hits.emit(event)
+
+    def summary(self) -> dict:
+        """A plain-dict snapshot, convenient for reports and the CLI."""
+        return {
+            "window": self.rolling.window,
+            "rolling_hit_ratio": self.rolling.ratio,
+            "overall_hit_ratio": self.rolling.overall_ratio,
+            "evictions": self.eviction_ages.total,
+            "eviction_age_buckets": self.eviction_ages.buckets(),
+            "level_hit_ratios": {
+                level: self.level_hits.ratio(level)
+                for level in self.level_hits.levels()
+            },
+        }

@@ -116,6 +116,53 @@ class TestPinning:
         buffer.unpin(0)
         assert not buffer.frames[0].pinned
 
+    def test_buffer_full_raised_before_policy_runs(self):
+        """The manager itself must guarantee BufferFullError when every
+        frame is pinned — even for a policy whose victim selection would
+        die with an opaque ValueError (min() over an empty candidate
+        list).  Regression test for the manager-level guard."""
+        from repro.buffer.policies.base import ReplacementPolicy
+
+        class NaiveMinPolicy(ReplacementPolicy):
+            name = "naive-min"
+
+            def select_victim(self):
+                # No empty-guard: min() raises ValueError when everything
+                # is pinned.  The manager must never let that escape.
+                return min(
+                    self.buffer.evictable_frames(),
+                    key=lambda frame: frame.last_access,
+                ).page_id
+
+        buffer = BufferManager(make_disk(), 2, NaiveMinPolicy())
+        buffer.fetch(0)
+        buffer.fetch(1)
+        buffer.pin(0)
+        buffer.pin(1)
+        with pytest.raises(BufferFullError):
+            buffer.fetch(2)
+        # Releasing one pin makes the same request succeed.
+        buffer.unpin(1)
+        buffer.fetch(2)
+        assert buffer.contains(2)
+        assert not buffer.contains(1)
+
+    def test_buffer_full_with_nested_pins_and_recovery(self):
+        buffer = BufferManager(make_disk(), 2, LRU())
+        buffer.fetch(0)
+        buffer.fetch(1)
+        buffer.pin(0)
+        buffer.pin(0)  # nested: still one pinned frame
+        buffer.pin(1)
+        with pytest.raises(BufferFullError):
+            buffer.fetch(2)
+        buffer.unpin(0)  # outer pin remains -> still full
+        with pytest.raises(BufferFullError):
+            buffer.fetch(2)
+        buffer.unpin(0)
+        buffer.fetch(2)  # now evictable again
+        assert buffer.contains(2)
+
 
 class TestDirtyPages:
     def test_writeback_on_eviction(self):
@@ -177,6 +224,19 @@ class TestClear:
         buffer.mark_dirty(0)
         buffer.clear()
         assert disk.stats.writes == 1
+
+    def test_clear_forgets_pins(self):
+        """clear() drops pinned frames too; the full-buffer guard must not
+        keep counting them afterwards."""
+        buffer = BufferManager(make_disk(), 2, LRU())
+        buffer.fetch(0)
+        buffer.fetch(1)
+        buffer.pin(0)
+        buffer.pin(1)
+        buffer.clear()
+        for page_id in range(5):
+            buffer.fetch(page_id)  # must evict freely again
+        assert len(buffer) == 2
 
 
 class TestQueryScopes:

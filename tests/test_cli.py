@@ -91,6 +91,49 @@ class TestTraceAndReplay:
         )
 
 
+class TestEventsCommand:
+    def _record(self, tmp_path, policy="ASB"):
+        path = tmp_path / "events.jsonl"
+        code = main(
+            [
+                "events", "record",
+                "--set", "S-W-100",
+                "--policy", policy,
+                "--capacity", "24",
+                "--out", str(path),
+                "--objects", "2000",
+                "--queries", "20",
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_record_writes_jsonl(self, tmp_path, capsys):
+        path = self._record(tmp_path)
+        out = capsys.readouterr().out
+        assert "recorded" in out and "fetch=" in out
+        first_line = path.read_text(encoding="utf-8").splitlines()[0]
+        assert "repro-obs-trace" in first_line
+
+    def test_replay_verifies_determinism(self, tmp_path, capsys):
+        path = self._record(tmp_path)
+        capsys.readouterr()
+        assert main(["events", "replay", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "deterministic replay verified" in out
+        assert "rolling hit ratio" in out
+        assert "hit ratio by level" in out
+
+    def test_replay_with_other_policy_is_counterfactual(self, tmp_path, capsys):
+        path = self._record(tmp_path)
+        capsys.readouterr()
+        assert main(["events", "replay", str(path), "--policy", "LRU"]) == 0
+        out = capsys.readouterr().out
+        assert "LRU @ 24 pages" in out
+        # Different policy: no determinism verdict is claimed.
+        assert "deterministic replay" not in out
+
+
 class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):

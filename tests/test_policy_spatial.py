@@ -82,6 +82,58 @@ class TestCriterionCache:
         frame.crit_cache["A"] = 99.0
         assert spatial_criterion(frame, "A") == 99.0
 
+    def test_mark_dirty_invalidates_all_five_criteria(self):
+        """mark_dirty must drop every cached criterion — a stale value for
+        any of the five would rank the page by its pre-modification
+        footprint."""
+        disk = SimulatedDisk()
+        disk.store(page_with([Rect(0, 0, 2, 2)], page_id=0))
+        buffer = BufferManager(disk, 2, SpatialPolicy("A"))
+        page = buffer.fetch(0)
+        frame = buffer.frames[0]
+        for criterion in SPATIAL_CRITERIA:
+            spatial_criterion(frame, criterion)
+        assert set(frame.crit_cache) == set(SPATIAL_CRITERIA)
+        page.entries.append(PageEntry(mbr=Rect(0, 0, 10, 10), payload=1))
+        buffer.mark_dirty(0)
+        assert frame.crit_cache == {}
+
+    @pytest.mark.parametrize("criterion", sorted(SPATIAL_CRITERIA))
+    def test_next_lookup_recomputes_after_mark_dirty(self, criterion):
+        """After invalidation the next spatial_criterion call must see the
+        modified page content, not the cached pre-modification value."""
+        disk = SimulatedDisk()
+        disk.store(page_with([Rect(0, 0, 2, 2), Rect(1, 1, 2, 2)], page_id=0))
+        buffer = BufferManager(disk, 2, SpatialPolicy(criterion))
+        page = buffer.fetch(0)
+        frame = buffer.frames[0]
+        before = spatial_criterion(frame, criterion)
+        # Growing the page's footprint strictly increases all five
+        # criteria (EO gains a fully-overlapped third rectangle).
+        page.entries.append(PageEntry(mbr=Rect(0, 0, 20, 20), payload=2))
+        buffer.mark_dirty(0)
+        after = spatial_criterion(frame, criterion)
+        assert after > before
+        assert frame.crit_cache[criterion] == after
+
+    def test_invalidation_changes_the_eviction_decision(self):
+        """End to end: an update that shrinks a page's criterion must make
+        it the next victim — impossible with a stale cache."""
+        disk = SimulatedDisk()
+        disk.store(page_with([Rect(0, 0, 5, 5)], page_id=0))
+        disk.store(page_with([Rect(0, 0, 3, 3)], page_id=1))
+        disk.store(page_with([Rect(0, 0, 4, 4)], page_id=2))
+        buffer = BufferManager(disk, 2, SpatialPolicy("A"))
+        page = buffer.fetch(0)
+        buffer.fetch(1)
+        # Warm the cache, then shrink page 0 below page 1's criterion.
+        assert spatial_criterion(buffer.frames[0], "A") == 25.0
+        page.entries[:] = [PageEntry(mbr=Rect(0, 0, 1, 1), payload=0)]
+        buffer.mark_dirty(0)
+        buffer.fetch(2)  # must evict the now-smallest page 0, not page 1
+        assert not buffer.contains(0)
+        assert buffer.contains(1)
+
 
 class TestSpatialPolicy:
     def test_unknown_criterion_raises(self):

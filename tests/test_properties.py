@@ -155,6 +155,27 @@ class TestUniversalInvariants:
                 buffer.fetch(page_id)
             assert len(policy.history_of(page_id)) <= 2
 
+    @settings(max_examples=25, deadline=None)
+    @given(traces, capacities)
+    def test_record_replay_is_bit_identical(self, trace, capacity):
+        """The determinism contract of the replay driver: for any request
+        sequence and every policy, replaying a recorded trace yields the
+        identical event stream and statistics snapshot."""
+        from repro.obs import record_run, replay_recorded
+
+        requests = []
+        query = 0
+        for page_id, new_query in trace:
+            if new_query:
+                query += 1
+            requests.append((page_id, query))
+        disk = build_disk()
+        for name, factory in self.POLICIES:
+            recorded = record_run(requests, disk, factory(), capacity)
+            replayed = replay_recorded(recorded, factory())
+            assert replayed.events == recorded.events, name
+            assert replayed.stats == recorded.stats, name
+
     @settings(max_examples=30, deadline=None)
     @given(traces, st.integers(min_value=2, max_value=8))
     def test_clear_resets_to_identical_rerun(self, trace, capacity):
