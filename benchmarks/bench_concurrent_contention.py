@@ -1,0 +1,46 @@
+"""Contention sweep for the concurrent buffer service.
+
+Unlike the figure benches (deterministic disk-access counts), this one
+measures real threads against the sharded buffer: throughput and hit
+ratio over a (threads × shards) grid, with the accounting identities
+asserted inside :func:`measure_contention`.  Results go to
+``benchmarks/results/`` and (via ``python -m repro bench concurrent``)
+to ``BENCH_concurrent.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.buffer.policies.asb import ASB
+from repro.experiments.concurrency import sweep_contention
+
+
+def test_concurrent_contention(benchmark, paper_setup, results_dir):
+    sweep = run_once(
+        benchmark,
+        lambda: sweep_contention(
+            paper_setup.db1,
+            ASB,
+            "ASB",
+            thread_counts=(1, 2, 4, 8, 16),
+            shard_counts=(1, 4, 8),
+            queries_per_client=30,
+            seed=7,
+        ),
+    )
+    text = sweep.to_text()
+    print()
+    print(text)
+    (results_dir / "concurrent_contention.txt").write_text(
+        text + "\n", encoding="utf-8"
+    )
+    sweep.save(str(results_dir / "concurrent_contention.json"))
+
+    assert len(sweep.points) == 15
+    for point in sweep.points:
+        # The identities were already asserted per cell; shape-guard the
+        # recorded rows so a refactor can't silently zero them.
+        assert point.requests > 0
+        assert point.hits + point.misses == point.requests
+        assert point.disk_reads == point.misses

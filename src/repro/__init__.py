@@ -29,6 +29,13 @@ Quickstart::
     print(len(hits), buffer.stats.snapshot())
 """
 
+from repro.access import (
+    BuildAccessor,
+    DirectAccessor,
+    FullPageAccessor,
+    PageAccessor,
+)
+from repro.buffer.concurrent import ConcurrentBufferManager
 from repro.buffer.manager import BufferFullError, BufferManager
 from repro.buffer.policies import (
     ARC,
@@ -79,8 +86,14 @@ __all__ = [
     "Page",
     "PageEntry",
     "PageType",
+    # page-access protocol
+    "PageAccessor",
+    "FullPageAccessor",
+    "DirectAccessor",
+    "BuildAccessor",
     # buffer
     "BufferManager",
+    "ConcurrentBufferManager",
     "BufferFullError",
     # policies
     "LRU",

@@ -5,10 +5,22 @@ pluggable :class:`~repro.buffer.policies.base.ReplacementPolicy` which page
 to drop when a new page must be loaded (Section 1 of the paper).  Everything
 the paper measures — hits, misses, disk accesses per query set — is recorded
 by :class:`~repro.buffer.stats.BufferStats`.
+
+Three services implement the page accessor protocol (:mod:`repro.access`):
+the sequential :class:`BufferManager`, the per-page-category
+:class:`~repro.buffer.partitioned.PartitionedBufferManager`, and the
+thread-safe sharded :class:`~repro.buffer.concurrent.ConcurrentBufferManager`.
 """
 
+from repro.buffer.concurrent import ConcurrentBufferManager
 from repro.buffer.frames import Frame
 from repro.buffer.manager import BufferFullError, BufferManager
 from repro.buffer.stats import BufferStats
 
-__all__ = ["BufferFullError", "BufferManager", "BufferStats", "Frame"]
+__all__ = [
+    "BufferFullError",
+    "BufferManager",
+    "BufferStats",
+    "ConcurrentBufferManager",
+    "Frame",
+]

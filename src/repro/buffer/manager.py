@@ -97,7 +97,24 @@ class BufferManager:
     # ------------------------------------------------------------------
 
     def fetch(self, page_id: PageId) -> Page:
-        """Request a page; serve it from a frame or load it from disk."""
+        """Request a page; serve it from a frame or load it from disk.
+
+        The three steps — :meth:`begin_request`, :meth:`serve_hit`,
+        :meth:`complete_miss` — are exposed separately so that wrappers
+        (the concurrent buffer service) can interleave their own logic
+        (lock hand-off, miss coalescing) between them while reusing the
+        single-threaded core unchanged.
+        """
+        self.begin_request(page_id)
+        frame = self.frames.get(page_id)
+        if frame is not None:
+            return self.serve_hit(frame)
+        self.stats.misses += 1
+        page = self.disk.read(page_id)
+        return self.complete_miss(page)
+
+    def begin_request(self, page_id: PageId) -> None:
+        """Step 1 of a request: advance the clock, count it, emit ``fetch``."""
         self._clock += 1
         self.stats.requests += 1
         if not self._in_query:
@@ -114,35 +131,44 @@ class BufferManager:
                     query=self._query_id,
                 )
             )
-        frame = self.frames.get(page_id)
-        if frame is not None:
-            self.stats.hits += 1
-            correlated = frame.last_query == self._query_id
-            if observer is not None:
-                observer.emit(
-                    BufferEvent(
-                        kind="hit",
-                        clock=self._clock,
-                        page_id=page_id,
-                        query=self._query_id,
-                        correlated=correlated,
-                        level=frame.page.level,
-                    )
+
+    def serve_hit(self, frame: Frame) -> Page:
+        """Step 2a: the page is resident — account the hit and serve it."""
+        self.stats.hits += 1
+        correlated = frame.last_query == self._query_id
+        observer = self.observer
+        if observer is not None:
+            observer.emit(
+                BufferEvent(
+                    kind="hit",
+                    clock=self._clock,
+                    page_id=frame.page_id,
+                    query=self._query_id,
+                    correlated=correlated,
+                    level=frame.page.level,
                 )
-            # The policy hook runs before the timestamp renewal so policies
-            # can still see the page's recency as of *before* this access
-            # (ASB's LRU-criterion comparison relies on that).
-            self.policy.on_hit(frame, correlated)
-            frame.touch(self._clock, self._query_id)
-            return frame.page
-        self.stats.misses += 1
-        page = self.disk.read(page_id)
+            )
+        # The policy hook runs before the timestamp renewal so policies
+        # can still see the page's recency as of *before* this access
+        # (ASB's LRU-criterion comparison relies on that).
+        self.policy.on_hit(frame, correlated)
+        frame.touch(self._clock, self._query_id)
+        return frame.page
+
+    def complete_miss(self, page: Page) -> Page:
+        """Step 2b: the page was read from disk — emit ``miss`` and admit it.
+
+        The caller is responsible for incrementing ``stats.misses`` *before*
+        the disk read (as :meth:`fetch` does), so a failed read still counts
+        as the miss that caused it.
+        """
+        observer = self.observer
         if observer is not None:
             observer.emit(
                 BufferEvent(
                     kind="miss",
                     clock=self._clock,
-                    page_id=page_id,
+                    page_id=page.page_id,
                     query=self._query_id,
                     level=page.level,
                 )
@@ -233,7 +259,9 @@ class BufferManager:
 
         Used when a page is *deallocated* (its content is dead, write-back
         would be wasted I/O — and a stale frame under a reused id would
-        corrupt the view).  A no-op for non-resident pages.
+        corrupt the view).  A no-op for non-resident pages.  The dropped
+        frame counts as an eviction, matching the ``evict`` event emitted
+        below — event-stream replays and :class:`BufferStats` must agree.
         """
         frame = self.frames.get(page_id)
         if frame is None:
@@ -241,6 +269,7 @@ class BufferManager:
         if frame.pinned:
             raise RuntimeError(f"cannot discard pinned page {page_id}")
         del self.frames[page_id]
+        self.stats.evictions += 1
         if self.observer is not None:
             self.observer.emit(
                 BufferEvent(
@@ -263,6 +292,27 @@ class BufferManager:
         frame.pin_count += 1
         if frame.pin_count == 1:
             self._pinned_frames += 1
+
+    @contextmanager
+    def pinned(self, page_id: PageId) -> Iterator[Page]:
+        """RAII pin guard: fetch the page and keep it pinned in the block.
+
+        ``with buffer.pinned(page_id) as page:`` guarantees the page stays
+        resident for the duration of the block and that the pin is released
+        on exit — including when the block raises.  Guards nest: each entry
+        adds one pin, each exit removes exactly one.
+        """
+        page = self.fetch(page_id)
+        self.pin(page_id)
+        try:
+            yield page
+        finally:
+            # The frame may have left the buffer through clear(force=True)
+            # or a force-unpin; releasing a pin that no longer exists must
+            # not mask the block's own exception with a bookkeeping error.
+            frame = self.frames.get(page_id)
+            if frame is not None and frame.pin_count > 0:
+                self.unpin(page_id)
 
     def unpin(self, page_id: PageId) -> None:
         frame = self._frame_or_raise(page_id)
@@ -305,12 +355,37 @@ class BufferManager:
                         )
                     )
 
-    def clear(self) -> None:
+    def clear(self, force: bool = False) -> None:
         """Empty the buffer (flushing dirty pages) and reset the policy.
 
         Statistics are reset too: the paper clears the buffer before every
         query set so that sets can be compared in isolation.
+
+        A clear while frames are pinned would leave the pin holders with
+        dangling references to pages that are no longer resident, so it
+        raises :class:`BufferFullError` *before* touching any state.  Pass
+        ``force=True`` to override: the pins are dropped with a warning and
+        the clear proceeds — only safe when the caller knows every pin
+        holder is gone (e.g. tearing down an experiment).
         """
+        if self._pinned_frames > 0:
+            if not force:
+                raise BufferFullError(
+                    f"clear() with {self._pinned_frames} pinned frame(s) "
+                    "resident would dangle their pins; unpin first or pass "
+                    "force=True"
+                )
+            import warnings
+
+            warnings.warn(
+                f"clear(force=True) dropped {self._pinned_frames} pinned "
+                "frame(s); any outstanding pin guards now reference "
+                "non-resident pages",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            for frame in self.frames.values():
+                frame.pin_count = 0
         self.flush()
         for frame in list(self.frames.values()):
             self.policy.on_evict(frame)

@@ -66,11 +66,38 @@ class PartitionedBufferManager:
     def mark_dirty(self, page_id: PageId) -> None:
         self._route(page_id).mark_dirty(page_id)
 
+    def install(self, page: Page) -> None:
+        """Place a freshly allocated page into its category's partition."""
+        buffer = self.buffers.get(page.page_type)
+        if buffer is None:
+            raise KeyError(
+                f"no buffer partition for {page.page_type.value} pages "
+                f"(page {page.page_id})"
+            )
+        buffer.install(page)
+
+    def discard(self, page_id: PageId) -> None:
+        """Drop a deallocated page from whichever partition holds it.
+
+        Routed by residency, not by catalogue: the page may already be
+        gone from the disk when its buffered copy is invalidated.
+        """
+        for buffer in self.buffers.values():
+            if buffer.contains(page_id):
+                buffer.discard(page_id)
+                return
+
     def pin(self, page_id: PageId) -> None:
         self._route(page_id).pin(page_id)
 
     def unpin(self, page_id: PageId) -> None:
         self._route(page_id).unpin(page_id)
+
+    @contextmanager
+    def pinned(self, page_id: PageId) -> Iterator[Page]:
+        """RAII pin guard (see :meth:`BufferManager.pinned`)."""
+        with self._route(page_id).pinned(page_id) as page:
+            yield page
 
     # ------------------------------------------------------------------
     # Scopes and maintenance
@@ -88,9 +115,25 @@ class PartitionedBufferManager:
         for buffer in self.buffers.values():
             buffer.flush()
 
-    def clear(self) -> None:
+    def clear(self, force: bool = False) -> None:
+        """Clear all partitions; refuses atomically if any holds pins.
+
+        The pinned check runs across every partition before any is
+        cleared, so a refused clear leaves all of them untouched.
+        """
+        if not force:
+            pinned = sum(
+                buffer._pinned_frames for buffer in self.buffers.values()
+            )
+            if pinned:
+                from repro.buffer.manager import BufferFullError
+
+                raise BufferFullError(
+                    f"clear() with {pinned} pinned frame(s) resident would "
+                    "dangle their pins; unpin first or pass force=True"
+                )
         for buffer in self.buffers.values():
-            buffer.clear()
+            buffer.clear(force=force)
 
     # ------------------------------------------------------------------
     # Observability

@@ -13,7 +13,10 @@ Four commands cover the common workflows without writing any code:
 * ``advise`` — recommend a buffer size and policy for a recorded trace;
 * ``map`` — render a dataset (and optionally a query set) as ASCII density
   maps;
-* ``reproduce`` — run every figure and ablation, writing a markdown report.
+* ``reproduce`` — run every figure and ablation, writing a markdown report;
+* ``bench concurrent`` — sweep real threads × buffer shards against the
+  concurrent buffer service, reporting throughput / hit ratio / miss
+  coalescing per grid cell (optionally saved as JSON).
 
 Examples::
 
@@ -24,6 +27,7 @@ Examples::
     python -m repro replay /tmp/trace.json --policy ASB --capacity 64
     python -m repro events record --set S-W-100 --policy ASB --out /tmp/t.jsonl
     python -m repro events replay /tmp/t.jsonl --policy LRU
+    python -m repro bench concurrent --threads 1,2,4,8,16 --shards 1,4,8
 """
 
 from __future__ import annotations
@@ -183,6 +187,29 @@ def _build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument("--queries", type=int, default=300)
     reproduce.add_argument("--seed", type=int, default=7)
     reproduce.add_argument("--figures-only", action="store_true")
+
+    bench = commands.add_parser(
+        "bench", help="performance benchmarks of the buffer services"
+    )
+    bench_commands = bench.add_subparsers(dest="bench_command", required=True)
+    concurrent = bench_commands.add_parser(
+        "concurrent",
+        help="contention sweep: threads x shards against the concurrent buffer",
+    )
+    concurrent.add_argument("--threads", default="1,2,4,8,16",
+                            help="comma-separated thread counts to sweep")
+    concurrent.add_argument("--shards", default="1,4,8",
+                            help="comma-separated shard counts to sweep")
+    concurrent.add_argument("--policy", default="ASB",
+                            choices=sorted(POLICY_FACTORIES))
+    concurrent.add_argument("--objects", type=int, default=20_000)
+    concurrent.add_argument("--queries", type=int, default=50,
+                            help="queries per client thread")
+    concurrent.add_argument("--fraction", type=float, default=0.047,
+                            help="buffer size relative to the tree's pages")
+    concurrent.add_argument("--seed", type=int, default=7)
+    concurrent.add_argument("--out", default=None,
+                            help="also write the sweep as JSON to this path")
     return parser
 
 
@@ -402,6 +429,46 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    # Only one bench so far; the subparser enforces its presence.
+    return _cmd_bench_concurrent(args)
+
+
+def _cmd_bench_concurrent(args: argparse.Namespace) -> int:
+    from repro.datasets.synthetic import us_mainland_like
+    from repro.experiments.concurrency import sweep_contention
+    from repro.experiments.harness import build_database
+
+    try:
+        thread_counts = [int(item) for item in args.threads.split(",") if item]
+        shard_counts = [int(item) for item in args.shards.split(",") if item]
+    except ValueError:
+        print("--threads/--shards must be comma-separated integers",
+              file=sys.stderr)
+        return 2
+    if not thread_counts or not shard_counts:
+        print("--threads/--shards must name at least one value", file=sys.stderr)
+        return 2
+    database = build_database(
+        us_mainland_like(n_objects=args.objects, seed=args.seed)
+    )
+    sweep = sweep_contention(
+        database,
+        POLICY_FACTORIES[args.policy],
+        args.policy,
+        thread_counts=thread_counts,
+        shard_counts=shard_counts,
+        buffer_fraction=args.fraction,
+        queries_per_client=args.queries,
+        seed=args.seed,
+    )
+    print(sweep.to_text())
+    if args.out:
+        sweep.save(args.out)
+        print(f"wrote {len(sweep.points)} grid points -> {args.out}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -414,5 +481,6 @@ def main(argv: Sequence[str] | None = None) -> int:
         "advise": _cmd_advise,
         "map": _cmd_map,
         "reproduce": _cmd_reproduce,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)

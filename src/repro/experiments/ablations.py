@@ -361,7 +361,7 @@ def ablation_object_pages(
         notes=(
             f"{tree.stats().page_count} tree pages + {store.page_count} "
             f"object pages; buffer = {capacity} pages; S-W-100 with "
-            f"fetch_objects=True"
+            "fetch_objects=True"
         ),
     )
 
@@ -444,7 +444,7 @@ def ablation_partitioned_buffer(
         notes=(
             f"total = {capacity} frames (dir {dir_share} / data {data_share} "
             f"/ object {object_share} in the split layouts); S-W-100 with "
-            f"fetch_objects=True"
+            "fetch_objects=True"
         ),
     )
 

@@ -64,7 +64,7 @@ class Advice:
             f"workload: {self.trace_length} page references over "
             f"{self.distinct_pages} distinct pages",
             f"recommended buffer: {self.recommended_capacity} pages "
-            f"(knee of the LRU miss-ratio curve)",
+            "(knee of the LRU miss-ratio curve)",
             f"recommended policy: {self.recommended_policy}",
             "",
             f"{'policy':<8} {'misses':>8} {'above OPT':>10}",

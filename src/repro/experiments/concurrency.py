@@ -1,0 +1,216 @@
+"""Contention experiments for the concurrent buffer service.
+
+The single-threaded experiments measure disk accesses — a deterministic,
+hardware-independent count.  The concurrent service adds a second axis the
+paper could not measure: how throughput scales with real threads as the
+shard count varies.  This module drives the threaded multi-client driver
+over a (threads × shards) grid and reports throughput, hit ratio and the
+coalescing counter for each cell, so later scaling PRs have a recorded
+perf trajectory to beat (``BENCH_concurrent.json``).
+
+Wall-clock numbers are hardware-dependent by nature; the determinism-
+sensitive quantities (requests, hit counts, accounting identities) are
+asserted, the timings are reported.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Sequence
+
+from repro.buffer.policies.base import ReplacementPolicy
+from repro.experiments.harness import Database, buffer_capacity
+from repro.workloads.multiclient import ClientStream, replay_clients_threaded
+
+#: Query-set names cycled over the client threads, mixing distributions so
+#: concurrent clients genuinely fight over different working sets.
+DEFAULT_CLIENT_SETS = ("U-W-100", "S-W-100", "INT-W-100", "S-P")
+
+
+@dataclass(slots=True)
+class ContentionPoint:
+    """One cell of the contention grid: a (threads, shards) measurement."""
+
+    threads: int
+    shards: int
+    seconds: float
+    requests: int
+    hits: int
+    misses: int
+    coalesced: int
+    disk_reads: int
+    queries: int
+
+    @property
+    def throughput(self) -> float:
+        """Page requests served per second (wall clock)."""
+        if self.seconds <= 0.0:
+            return 0.0
+        return self.requests / self.seconds
+
+    @property
+    def hit_ratio(self) -> float:
+        if self.requests == 0:
+            return 0.0
+        return self.hits / self.requests
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["throughput"] = round(self.throughput, 1)
+        data["hit_ratio"] = round(self.hit_ratio, 4)
+        data["seconds"] = round(self.seconds, 4)
+        return data
+
+
+@dataclass(slots=True)
+class ContentionSweep:
+    """A full grid of contention measurements plus its parameters."""
+
+    capacity: int
+    queries_per_client: int
+    policy: str
+    points: list[ContentionPoint] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "benchmark": "concurrent-contention",
+            "capacity": self.capacity,
+            "queries_per_client": self.queries_per_client,
+            "policy": self.policy,
+            "points": [point.to_dict() for point in self.points],
+        }
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+            handle.write("\n")
+
+    def to_text(self) -> str:
+        lines = [
+            f"concurrent contention sweep — {self.policy}, "
+            f"{self.capacity} frames, {self.queries_per_client} queries/client",
+            f"{'threads':>7} {'shards':>6} {'req/s':>12} {'hit%':>7} "
+            f"{'coalesced':>9} {'reads':>8} {'wall s':>8}",
+        ]
+        for point in self.points:
+            lines.append(
+                f"{point.threads:>7} {point.shards:>6} "
+                f"{point.throughput:>12,.0f} {point.hit_ratio:>6.1%} "
+                f"{point.coalesced:>9} {point.disk_reads:>8} "
+                f"{point.seconds:>8.3f}"
+            )
+        return "\n".join(lines)
+
+
+def make_client_streams(
+    database: Database,
+    threads: int,
+    queries_per_client: int,
+    seed: int = 0,
+    client_sets: Sequence[str] = DEFAULT_CLIENT_SETS,
+) -> list[ClientStream]:
+    """One query stream per thread, cycling through the mixed set names.
+
+    Client names are unique (set name + thread index) so per-client counts
+    stay separable, and each client gets its own seed so two clients on
+    the same distribution still issue different queries.
+    """
+    clients = []
+    for index in range(threads):
+        set_name = client_sets[index % len(client_sets)]
+        query_set = database.query_set(
+            set_name, queries_per_client, seed=seed + index
+        )
+        clients.append(
+            ClientStream(name=f"{set_name}#{index}", queries=query_set.queries)
+        )
+    return clients
+
+
+def measure_contention(
+    database: Database,
+    threads: int,
+    shards: int,
+    policy_factory: Callable[[], ReplacementPolicy],
+    capacity: int,
+    queries_per_client: int,
+    seed: int = 0,
+) -> ContentionPoint:
+    """Run one (threads × shards) cell and check the accounting identities.
+
+    Asserts ``hits + misses == requests`` (every request reaches exactly
+    one terminal) and that the number of *extra* disk reads beyond the
+    buffer's miss count is zero — coalesced concurrent misses share one
+    read.  Disk counters are measured as a delta, so a shared database can
+    be reused across cells.
+    """
+    clients = make_client_streams(database, threads, queries_per_client, seed)
+    disk = database.tree.pagefile.disk
+    reads_before = disk.stats.reads
+    started = time.perf_counter()
+    buffer, per_client = replay_clients_threaded(
+        database.tree, clients, policy_factory, capacity, shards=shards
+    )
+    elapsed = time.perf_counter() - started
+    stats = buffer.stats
+    disk_reads = disk.stats.reads - reads_before
+    if stats.hits + stats.misses != stats.requests:
+        raise AssertionError(
+            f"accounting broken: {stats.hits} + {stats.misses} != "
+            f"{stats.requests}"
+        )
+    if disk_reads != stats.misses:
+        raise AssertionError(
+            f"coalescing broken: {disk_reads} disk reads for "
+            f"{stats.misses} misses"
+        )
+    if sum(per_client.values()) != threads * queries_per_client:
+        raise AssertionError("client threads lost queries")
+    return ContentionPoint(
+        threads=threads,
+        shards=shards,
+        seconds=elapsed,
+        requests=stats.requests,
+        hits=stats.hits,
+        misses=stats.misses,
+        coalesced=buffer.coalesced_misses,
+        disk_reads=disk_reads,
+        queries=stats.queries,
+    )
+
+
+def sweep_contention(
+    database: Database,
+    policy_factory: Callable[[], ReplacementPolicy],
+    policy_name: str,
+    thread_counts: Sequence[int] = (1, 2, 4, 8, 16),
+    shard_counts: Sequence[int] = (1, 4, 8),
+    buffer_fraction: float = 0.047,
+    queries_per_client: int = 50,
+    seed: int = 0,
+) -> ContentionSweep:
+    """Measure the full (threads × shards) grid against one database."""
+    capacity = max(
+        max(shard_counts), buffer_capacity(database, buffer_fraction)
+    )
+    sweep = ContentionSweep(
+        capacity=capacity,
+        queries_per_client=queries_per_client,
+        policy=policy_name,
+    )
+    for shards in shard_counts:
+        for threads in thread_counts:
+            sweep.points.append(
+                measure_contention(
+                    database,
+                    threads,
+                    shards,
+                    policy_factory,
+                    capacity,
+                    queries_per_client,
+                    seed,
+                )
+            )
+    return sweep

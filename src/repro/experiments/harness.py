@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
+from repro.access import FullPageAccessor
 from repro.buffer.manager import BufferManager
 from repro.buffer.policies.base import ReplacementPolicy
 from repro.buffer.policies.lru import LRU
@@ -91,6 +92,28 @@ def buffer_capacity(database: Database, fraction: float) -> int:
     return max(8, round(fraction * database.page_count))
 
 
+def run_queries(
+    accessor: FullPageAccessor,
+    index: SpatialIndex,
+    query_set: QuerySet,
+    after_query: Callable[[int, FullPageAccessor], None] | None = None,
+) -> FullPageAccessor:
+    """Drive a query set through *any* page accessor.
+
+    The harness core is accessor-generic: the same loop runs against a
+    plain :class:`~repro.buffer.manager.BufferManager`, a partitioned one,
+    the concurrent service, or an unbuffered accessor — each query inside
+    its own query scope (the correlation unit).  ``after_query`` is an
+    optional hook called with (query index, accessor) after each query.
+    """
+    for position, query in enumerate(query_set):
+        with accessor.query_scope():
+            query.run(index, accessor)
+        if after_query is not None:
+            after_query(position, accessor)
+    return accessor
+
+
 def replay(
     index: SpatialIndex,
     query_set: QuerySet,
@@ -101,17 +124,15 @@ def replay(
 ) -> BufferManager:
     """Run a query set against a fresh buffer; return the buffer (stats).
 
-    ``after_query`` is an optional hook called with (query index, buffer)
-    after each query — used e.g. to sample ASB's candidate-set size for
-    Figure 14.  ``observer`` is an optional event sink receiving the
-    buffer-event stream (see :mod:`repro.obs`).
+    Convenience wrapper over :func:`run_queries` for the paper's standard
+    setup: one fresh single-threaded buffer per replay.  ``after_query``
+    is an optional hook called with (query index, buffer) after each query
+    — used e.g. to sample ASB's candidate-set size for Figure 14.
+    ``observer`` is an optional event sink receiving the buffer-event
+    stream (see :mod:`repro.obs`).
     """
     buffer = BufferManager(index.pagefile.disk, capacity, policy, observer=observer)
-    for position, query in enumerate(query_set):
-        with buffer.query_scope():
-            query.run(index, buffer)
-        if after_query is not None:
-            after_query(position, buffer)
+    run_queries(buffer, index, query_set, after_query)
     return buffer
 
 
@@ -149,14 +170,15 @@ def replay_mixed(
 
 
 def pin_top_levels(
-    tree: RStarTree, buffer: BufferManager, levels: int
+    tree: RStarTree, buffer: FullPageAccessor, levels: int
 ) -> int:
     """Pre-load and pin the top ``levels`` levels of a tree in a buffer.
 
     The buffer model of Leutenegger & Lopez (the paper's reference [8]):
     the root and the next ``levels - 1`` directory levels are fetched once
-    and pinned, so they never leave the buffer.  Returns the number of
-    pinned pages.  Raises :class:`ValueError` if they would not fit.
+    and pinned, so they never leave the buffer.  Works against any page
+    accessor with a ``capacity``.  Returns the number of pinned pages.
+    Raises :class:`ValueError` if they would not fit.
     """
     if levels < 1:
         return 0
@@ -167,9 +189,10 @@ def pin_top_levels(
         for page_id in tree.all_page_ids()
         if tree.pagefile.disk.peek(page_id).level > tree.height - 1 - levels
     ]
-    if len(to_pin) >= buffer.capacity:
+    capacity = getattr(buffer, "capacity", None)
+    if capacity is not None and len(to_pin) >= capacity:
         raise ValueError(
-            f"pinning {len(to_pin)} pages exceeds the {buffer.capacity}-frame buffer"
+            f"pinning {len(to_pin)} pages exceeds the {capacity}-frame buffer"
         )
     for page_id in to_pin:
         buffer.fetch(page_id)

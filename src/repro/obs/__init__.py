@@ -28,6 +28,7 @@ from repro.obs.events import (
     BufferEvent,
     EventSink,
     Fanout,
+    LockingSink,
     TraceRecorder,
 )
 from repro.obs.trace import (
@@ -49,6 +50,7 @@ __all__ = [
     "BufferEvent",
     "EventSink",
     "Fanout",
+    "LockingSink",
     "TraceRecorder",
     "RollingHitRatio",
     "EvictionAgeHistogram",

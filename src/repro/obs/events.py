@@ -94,3 +94,35 @@ class Fanout:
     def emit(self, event: BufferEvent) -> None:
         for sink in self.sinks:
             sink.emit(event)
+
+
+class LockingSink:
+    """Serialises emissions into a sink that is not itself thread-safe.
+
+    The concurrent buffer service emits events from many threads; wrapping
+    the observer in a :class:`LockingSink` makes any single-threaded sink
+    (recorder, windowed metrics, fanout) safe to share.  Events arrive in
+    lock-acquisition order — a total order, though not necessarily the
+    per-shard clock order, since shards keep independent logical clocks.
+
+    Idempotent by construction: wrapping a :class:`LockingSink` returns the
+    inner lock's discipline twice, which is wasteful but correct; use
+    :meth:`wrapping` to avoid double-wrapping.
+    """
+
+    def __init__(self, inner: EventSink) -> None:
+        import threading
+
+        self.inner = inner
+        self._lock = threading.Lock()
+
+    @classmethod
+    def wrapping(cls, sink: "EventSink | None") -> "LockingSink | None":
+        """Wrap ``sink`` unless it is ``None`` or already a LockingSink."""
+        if sink is None or isinstance(sink, LockingSink):
+            return sink
+        return cls(sink)
+
+    def emit(self, event: BufferEvent) -> None:
+        with self._lock:
+            self.inner.emit(event)

@@ -2,10 +2,11 @@
 
 Indexes are *built* directly on their page file (tree construction happens
 before the measured query phase; the paper clears the buffer before each
-query set) and *queried* through a page accessor.  Any object with a
-``fetch(page_id) -> Page`` method qualifies — in the experiments that is a
-:class:`~repro.buffer.manager.BufferManager`, so every page request of a
-query is a buffer request.
+query set) and *queried* through a page accessor (see :mod:`repro.access`,
+whose protocol and unbuffered accessors are re-exported here).  Any object
+with a ``fetch(page_id) -> Page`` method qualifies — in the experiments
+that is a buffer manager, so every page request of a query is a buffer
+request.
 """
 
 from __future__ import annotations
@@ -13,42 +14,26 @@ from __future__ import annotations
 import abc
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Iterator, Protocol, runtime_checkable
+from typing import Any, Iterator
 
+from repro.access import (
+    BuildAccessor,
+    DirectAccessor,
+    FullPageAccessor,
+    PageAccessor,
+)
 from repro.geometry.rect import Point, Rect
 from repro.storage.page import Page, PageId
 from repro.storage.pagefile import PageFile
 
-
-@runtime_checkable
-class PageAccessor(Protocol):
-    """Anything that can serve page requests (buffer manager, raw file)."""
-
-    def fetch(self, page_id: PageId) -> Page: ...
-
-
-class DirectAccessor:
-    """Unbuffered accessor reading straight from the disk, with accounting.
-
-    Used to measure the no-buffer baseline and in tests; every fetch is one
-    disk read.
-    """
-
-    def __init__(self, pagefile: PageFile) -> None:
-        self._pagefile = pagefile
-
-    def fetch(self, page_id: PageId) -> Page:
-        return self._pagefile.disk.read(page_id)
-
-
-class BuildAccessor:
-    """Unaccounted accessor for the construction phase."""
-
-    def __init__(self, pagefile: PageFile) -> None:
-        self._pagefile = pagefile
-
-    def fetch(self, page_id: PageId) -> Page:
-        return self._pagefile.disk.peek(page_id)
+__all__ = [
+    "BuildAccessor",
+    "DirectAccessor",
+    "FullPageAccessor",
+    "PageAccessor",
+    "SpatialIndex",
+    "TreeStats",
+]
 
 
 @dataclass(slots=True)

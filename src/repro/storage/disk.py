@@ -16,6 +16,7 @@ ablation experiments and the test suite:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.storage.page import Page, PageId
@@ -74,6 +75,10 @@ class SimulatedDisk:
         self._latency = latency or LatencyModel()
         self._last_read: PageId | None = None
         self.stats = DiskStats()
+        #: Guards the access counters and the sequential-read detector, so
+        #: concurrent buffer shards can share one disk without losing
+        #: counts (``+=`` on a dataclass field is not atomic).
+        self._stats_lock = threading.Lock()
         #: Page ids whose next read/write raises :class:`DiskError`.
         self.fail_reads: set[PageId] = set()
         self.fail_writes: set[PageId] = set()
@@ -90,14 +95,15 @@ class SimulatedDisk:
             page = self._pages[page_id]
         except KeyError:
             raise KeyError(f"page {page_id} does not exist on disk") from None
-        self.stats.reads += 1
-        if self._last_read is not None and page_id == self._last_read + 1:
-            self.stats.sequential_reads += 1
-            self.stats.elapsed_ms += self._latency.sequential_ms
-        else:
-            self.stats.random_reads += 1
-            self.stats.elapsed_ms += self._latency.random_ms
-        self._last_read = page_id
+        with self._stats_lock:
+            self.stats.reads += 1
+            if self._last_read is not None and page_id == self._last_read + 1:
+                self.stats.sequential_reads += 1
+                self.stats.elapsed_ms += self._latency.sequential_ms
+            else:
+                self.stats.random_reads += 1
+                self.stats.elapsed_ms += self._latency.random_ms
+            self._last_read = page_id
         return page
 
     def write(self, page: Page) -> None:
@@ -105,8 +111,9 @@ class SimulatedDisk:
         if page.page_id in self.fail_writes:
             raise DiskError(f"injected write failure for page {page.page_id}")
         self._pages[page.page_id] = page
-        self.stats.writes += 1
-        self.stats.elapsed_ms += self._latency.random_ms
+        with self._stats_lock:
+            self.stats.writes += 1
+            self.stats.elapsed_ms += self._latency.random_ms
 
     # ------------------------------------------------------------------
     # Unaccounted maintenance (tree construction, tests)

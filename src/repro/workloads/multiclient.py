@@ -8,19 +8,30 @@ many clients over the same buffer pool.  Interleaving changes two things:
 * **correlation semantics** — LRU-K must not treat the pages of different
   concurrent queries as one correlated burst.
 
-This module slices each client's queries into *page-access bursts* and
-interleaves the bursts of all clients.  Each query still runs inside its
-own query scope (the correlation unit), but scopes of different clients
-alternate — which is exactly what a server's interleaved execution looks
-like to the buffer.
+Two drivers share the :class:`ClientStream` model:
+
+* :func:`replay_clients` — *simulated* interleaving: bursts of all clients
+  are shuffled through one single-threaded buffer, reproducing a server's
+  interleaved execution deterministically;
+* :func:`replay_clients_threaded` — *real* concurrency: each client runs
+  on its own thread against a
+  :class:`~repro.buffer.concurrent.ConcurrentBufferManager`, so lock
+  contention, miss coalescing and thread-scoped query correlation are
+  exercised for real.
+
+Each query still runs inside its own query scope (the correlation unit),
+but scopes of different clients alternate — which is exactly what a
+server's interleaved execution looks like to the buffer.
 """
 
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
+from repro.buffer.concurrent import ConcurrentBufferManager
 from repro.buffer.manager import BufferManager
 from repro.buffer.policies.base import ReplacementPolicy
 from repro.sam.base import SpatialIndex
@@ -80,4 +91,69 @@ def replay_clients(
         with buffer.query_scope():
             query.run(index, buffer)
         per_client[name] += 1
+    return buffer, per_client
+
+
+def replay_clients_threaded(
+    index: SpatialIndex,
+    clients: Sequence[ClientStream],
+    policy_factory: Callable[[], ReplacementPolicy],
+    capacity: int,
+    shards: int = 4,
+    observer=None,
+) -> tuple[ConcurrentBufferManager, dict[str, int]]:
+    """Run each client stream on its own thread against a concurrent buffer.
+
+    Returns ``(buffer, per-client query counts)`` like :func:`replay_clients`.
+    ``policy_factory`` is called once per shard.  All client threads start
+    behind a barrier so short streams still overlap, each query runs inside
+    the calling thread's query scope (clients are never correlated with one
+    another), and the first exception raised on any thread is re-raised
+    here after every thread has finished.
+    """
+    buffer = ConcurrentBufferManager(
+        index.pagefile.disk,
+        capacity,
+        policy_factory,
+        shards=shards,
+        observer=observer,
+    )
+    per_client: dict[str, int] = {client.name: 0 for client in clients}
+    if not clients:
+        return buffer, per_client
+    start = threading.Barrier(len(clients))
+    errors: list[BaseException] = []
+    state_lock = threading.Lock()
+
+    def run_client(client: ClientStream) -> None:
+        try:
+            start.wait()
+            for query in client.queries:
+                with buffer.query_scope():
+                    query.run(index, buffer)
+                # Client names may repeat (two clients replaying the same
+                # query set), so the shared counter needs the lock.
+                with state_lock:
+                    per_client[client.name] += 1
+        except BaseException as exc:  # noqa: BLE001 - reported to the caller
+            with state_lock:
+                errors.append(exc)
+            # Unblock peers still waiting on the barrier.
+            start.abort()
+
+    threads = [
+        threading.Thread(
+            target=run_client,
+            args=(client,),
+            name=f"client-{client.name}",
+            daemon=True,
+        )
+        for client in clients
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
     return buffer, per_client

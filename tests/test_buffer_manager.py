@@ -164,6 +164,51 @@ class TestPinning:
         assert buffer.contains(2)
 
 
+class TestPinnedGuard:
+    """The RAII pin guard: with buffer.pinned(page_id) as page."""
+
+    def test_pins_inside_block_and_releases_after(self):
+        buffer = BufferManager(make_disk(), 2, LRU())
+        with buffer.pinned(0) as page:
+            assert page.page_id == 0
+            assert buffer.frames[0].pinned
+            for page_id in range(1, 6):
+                buffer.fetch(page_id)
+            assert buffer.contains(0)  # survived the pressure
+        assert not buffer.frames[0].pinned
+
+    def test_unpins_on_exception(self):
+        buffer = BufferManager(make_disk(), 2, LRU())
+        with pytest.raises(RuntimeError, match="boom"):
+            with buffer.pinned(0):
+                raise RuntimeError("boom")
+        assert not buffer.frames[0].pinned
+
+    def test_guards_nest(self):
+        buffer = BufferManager(make_disk(), 2, LRU())
+        with buffer.pinned(0):
+            with buffer.pinned(0):
+                assert buffer.frames[0].pin_count == 2
+            assert buffer.frames[0].pin_count == 1
+        assert buffer.frames[0].pin_count == 0
+
+    def test_fetch_inside_guard_counts_normally(self):
+        buffer = BufferManager(make_disk(), 4, LRU())
+        with buffer.pinned(0):
+            buffer.fetch(0)
+        assert buffer.stats.requests == 2
+        assert buffer.stats.hits == 1
+
+    def test_guard_survives_forced_clear(self):
+        """clear(force=True) inside a guard must not make the guard's exit
+        blow up — the pin is gone, and exit tolerates that."""
+        buffer = BufferManager(make_disk(), 2, LRU())
+        with buffer.pinned(0):
+            with pytest.warns(RuntimeWarning):
+                buffer.clear(force=True)
+        assert len(buffer) == 0
+
+
 class TestDirtyPages:
     def test_writeback_on_eviction(self):
         disk = make_disk()
@@ -225,18 +270,54 @@ class TestClear:
         buffer.clear()
         assert disk.stats.writes == 1
 
-    def test_clear_forgets_pins(self):
-        """clear() drops pinned frames too; the full-buffer guard must not
-        keep counting them afterwards."""
+    def test_clear_with_pinned_frames_raises(self):
+        """clear() must not silently drop pinned frames — callers holding
+        pins would be left with dangling references."""
+        buffer = BufferManager(make_disk(), 2, LRU())
+        buffer.fetch(0)
+        buffer.fetch(1)
+        buffer.pin(0)
+        with pytest.raises(BufferFullError):
+            buffer.clear()
+        # The refused clear left everything untouched.
+        assert buffer.contains(0) and buffer.contains(1)
+        assert buffer.frames[0].pinned
+
+    def test_clear_refused_before_flushing(self):
+        """A refused clear must not have flushed anything either."""
+        disk = make_disk()
+        buffer = BufferManager(disk, 2, LRU())
+        buffer.fetch(0)
+        buffer.mark_dirty(0)
+        buffer.pin(0)
+        with pytest.raises(BufferFullError):
+            buffer.clear()
+        assert disk.stats.writes == 0
+        assert buffer.frames[0].dirty
+
+    def test_clear_force_unpins_with_warning(self):
+        """clear(force=True) drops the pins with a warning; the full-buffer
+        guard must not keep counting them afterwards."""
         buffer = BufferManager(make_disk(), 2, LRU())
         buffer.fetch(0)
         buffer.fetch(1)
         buffer.pin(0)
         buffer.pin(1)
-        buffer.clear()
+        with pytest.warns(RuntimeWarning):
+            buffer.clear(force=True)
         for page_id in range(5):
             buffer.fetch(page_id)  # must evict freely again
         assert len(buffer) == 2
+
+    def test_clear_without_pins_does_not_warn(self):
+        import warnings
+
+        buffer = BufferManager(make_disk(), 2, LRU())
+        buffer.fetch(0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            buffer.clear()
+        assert len(buffer) == 0
 
 
 class TestQueryScopes:
@@ -302,6 +383,23 @@ class TestInstallAndDiscard:
         buffer.discard(0)
         assert not buffer.contains(0)
         assert disk.stats.writes == 0  # dead page: no write-back
+
+    def test_discard_counts_as_eviction(self):
+        """discard() emits an evict event, so the stats must agree —
+        event-stream replays and BufferStats count the same evictions."""
+        from repro.obs.events import TraceRecorder
+
+        recorder = TraceRecorder(kinds=("evict",))
+        buffer = BufferManager(make_disk(), 4, LRU(), observer=recorder)
+        buffer.fetch(0)
+        buffer.discard(0)
+        assert buffer.stats.evictions == 1
+        assert len(recorder.events) == 1
+
+    def test_discard_nonresident_counts_nothing(self):
+        buffer = BufferManager(make_disk(), 4, LRU())
+        buffer.discard(7)
+        assert buffer.stats.evictions == 0
 
     def test_discard_nonresident_is_noop(self):
         buffer = BufferManager(make_disk(), 4, LRU())

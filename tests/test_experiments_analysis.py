@@ -6,7 +6,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.buffer.manager import BufferManager
 from repro.buffer.policies import ARC, ASB, LRU, LRUK, SpatialPolicy, TwoQ
 from repro.experiments.analysis import (
     lru_miss_curve,

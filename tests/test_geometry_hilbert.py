@@ -7,8 +7,8 @@ import random
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.geometry.hilbert import hilbert_encode, hilbert_to_xy, xy_to_hilbert
-from repro.geometry.rect import Point, Rect
+from repro.geometry.hilbert import hilbert_to_xy, xy_to_hilbert
+from repro.geometry.rect import Rect
 from repro.sam.rstar import RStarTree
 
 SPACE = Rect(0.0, 0.0, 1.0, 1.0)

@@ -1,0 +1,199 @@
+"""Stateful property test for the RAII pin-guard API.
+
+A rule-based state machine interleaves ``pinned()`` guard entry/exit
+(including nesting and exceptional exit), bare pin/unpin, discard and
+clear against both the sequential :class:`BufferManager` and the
+one-shard :class:`ConcurrentBufferManager`, with an independent model of
+the outstanding pins.  Invariants checked after every step:
+
+* a frame's ``pin_count`` equals the model's outstanding guards + bare
+  pins for that page — guards never leak a pin and never double-release;
+* pin counts never go negative, even across ``clear(force=True)`` which
+  zeroes pins under live guards (the guard's exit must notice and not
+  underflow);
+* the manager's pinned-frame tally matches the frames.
+"""
+
+from __future__ import annotations
+
+from contextlib import ExitStack
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.buffer.concurrent import ConcurrentBufferManager
+from repro.buffer.manager import BufferFullError, BufferManager
+from repro.buffer.policies.lru import LRU
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import Page, PageType
+
+N_PAGES = 12
+CAPACITY = 5
+
+
+def make_buffer(concurrent: bool):
+    disk = SimulatedDisk()
+    for page_id in range(N_PAGES):
+        disk.store(Page(page_id=page_id, page_type=PageType.DATA))
+    if concurrent:
+        return ConcurrentBufferManager(disk, CAPACITY, LRU, shards=1)
+    return BufferManager(disk, CAPACITY, LRU())
+
+
+class PinGuardMachine(RuleBasedStateMachine):
+    """Interleaves guards, bare pins, discard and clear; models the pins."""
+
+    @initialize(concurrent=st.booleans())
+    def setup(self, concurrent):
+        self.buffer = make_buffer(concurrent)
+        # Open guards as a stack of (page_id, ExitStack) — exits must nest.
+        self.guards: list[tuple[int, ExitStack]] = []
+        self.bare_pins: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Model helpers
+    # ------------------------------------------------------------------
+
+    def model_pins(self) -> dict[int, int]:
+        pins: dict[int, int] = dict(self.bare_pins)
+        for page_id, _ in self.guards:
+            pins[page_id] = pins.get(page_id, 0) + 1
+        return {page_id: count for page_id, count in pins.items() if count}
+
+    def frames(self):
+        if isinstance(self.buffer, ConcurrentBufferManager):
+            return self.buffer.shard_managers()[0].frames
+        return self.buffer.frames
+
+    def would_overflow(self, page_id) -> bool:
+        pinned = set(self.model_pins())
+        return len(pinned) >= CAPACITY and page_id not in pinned
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+
+    @rule(page_id=st.integers(min_value=0, max_value=N_PAGES - 1))
+    def enter_guard(self, page_id):
+        if self.would_overflow(page_id):
+            return  # a fetch could legitimately raise BufferFullError
+        stack = ExitStack()
+        page = stack.enter_context(self.buffer.pinned(page_id))
+        assert page.page_id == page_id
+        self.guards.append((page_id, stack))
+
+    @rule()
+    @precondition(lambda self: self.guards)
+    def exit_guard(self):
+        page_id, stack = self.guards.pop()
+        stack.close()
+
+    @rule()
+    @precondition(lambda self: self.guards)
+    def exit_guard_with_exception(self):
+        page_id, stack = self.guards.pop()
+
+        class Boom(Exception):
+            pass
+
+        with pytest.raises(Boom):
+            with stack:
+                raise Boom()
+
+    @rule(page_id=st.integers(min_value=0, max_value=N_PAGES - 1))
+    def bare_pin(self, page_id):
+        if self.would_overflow(page_id):
+            return
+        self.buffer.fetch(page_id)
+        self.buffer.pin(page_id)
+        self.bare_pins[page_id] = self.bare_pins.get(page_id, 0) + 1
+
+    @rule()
+    @precondition(lambda self: self.bare_pins)
+    def bare_unpin(self):
+        page_id = sorted(self.bare_pins)[0]
+        self.buffer.unpin(page_id)
+        self.bare_pins[page_id] -= 1
+        if not self.bare_pins[page_id]:
+            del self.bare_pins[page_id]
+
+    @rule(page_id=st.integers(min_value=0, max_value=N_PAGES - 1))
+    def discard(self, page_id):
+        if page_id in self.model_pins():
+            with pytest.raises(RuntimeError):
+                self.buffer.discard(page_id)
+        else:
+            self.buffer.discard(page_id)
+
+    @rule()
+    def clear(self):
+        if self.model_pins():
+            with pytest.raises(BufferFullError):
+                self.buffer.clear()
+        else:
+            self.buffer.clear()
+
+    @rule()
+    @precondition(lambda self: self.model_pins())
+    def force_clear_under_live_guards(self):
+        """clear(force=True) zeroes pins under our feet; the open guards'
+        exits must tolerate it (no underflow, no exception).  The model's
+        bare pins are gone too."""
+        with pytest.warns(RuntimeWarning):
+            self.buffer.clear(force=True)
+        self.bare_pins.clear()
+        # Open guards stay open, but their pins were forcibly dropped; on
+        # exit they must detect this and not unpin.  Mark them spent by
+        # closing them now — their __exit__ runs against the post-clear
+        # world, which is exactly the hazard under test.
+        while self.guards:
+            _, stack = self.guards.pop()
+            stack.close()
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+
+    @invariant()
+    def pins_match_model(self):
+        model = self.model_pins()
+        frames = self.frames()
+        for page_id, count in model.items():
+            assert page_id in frames, f"pinned page {page_id} not resident"
+            assert frames[page_id].pin_count == count
+        for page_id, frame in frames.items():
+            assert frame.pin_count >= 0, "pin count underflow"
+            if page_id not in model:
+                assert frame.pin_count == 0
+
+    @invariant()
+    def pinned_tally_consistent(self):
+        managers = (
+            self.buffer.shard_managers()
+            if isinstance(self.buffer, ConcurrentBufferManager)
+            else [self.buffer]
+        )
+        for manager in managers:
+            tally = sum(
+                1 for frame in manager.frames.values() if frame.pin_count > 0
+            )
+            assert manager._pinned_frames == tally
+
+    def teardown(self):
+        while self.guards:
+            _, stack = self.guards.pop()
+            stack.close()
+
+
+PinGuardMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+TestPinGuards = PinGuardMachine.TestCase

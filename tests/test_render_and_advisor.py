@@ -13,7 +13,6 @@ from repro.experiments.advisor import (
     knee_capacity,
 )
 from repro.experiments.trace import AccessTrace, record_trace
-from repro.geometry.rect import Rect
 
 
 class TestDensityMap:

@@ -4,8 +4,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
-
 from repro.buffer.manager import BufferManager
 from repro.buffer.policies.lru import LRU
 from repro.geometry.rect import Rect

@@ -10,6 +10,7 @@ from repro.workloads.multiclient import (
     ClientStream,
     interleave_clients,
     replay_clients,
+    replay_clients_threaded,
 )
 from repro.workloads.queries import Query
 
@@ -86,3 +87,57 @@ class TestReplayClients:
         replay_clients(small_database.tree, clients, policy, 24, seed=7)
         root_hist = policy.history_of(small_database.tree.root_id)
         assert len(root_hist) == 2  # multiple uncorrelated references
+
+
+class TestReplayClientsThreaded:
+    def test_counts_per_client_and_accounting(self, small_database):
+        clients = make_clients(small_database, ("U-W-100", "S-W-100"), 12)
+        buffer, per_client = replay_clients_threaded(
+            small_database.tree, clients, LRU, 24, shards=2
+        )
+        assert per_client == {"U-W-100": 12, "S-W-100": 12}
+        stats = buffer.stats
+        assert stats.queries == 24
+        assert stats.hits + stats.misses == stats.requests
+        assert stats.misses > 0
+
+    def test_duplicate_client_names_merge_counts(self, small_database):
+        """Two clients may share a name (same query-set label): their
+        query counts accumulate instead of racing on the dict slot."""
+        clients = make_clients(small_database, ("S-P",), 10)
+        clients.append(ClientStream(name="S-P", queries=clients[0].queries))
+        buffer, per_client = replay_clients_threaded(
+            small_database.tree, clients, LRU, 16, shards=2
+        )
+        assert per_client == {"S-P": 20}
+
+    def test_reads_match_misses(self, small_database):
+        """Coalescing contract at the driver level: every disk read is
+        one buffer miss, even with threads racing on the same pages."""
+        disk = small_database.tree.pagefile.disk
+        reads_before = disk.stats.reads
+        clients = make_clients(
+            small_database, ("S-W-100", "S-W-100", "INT-W-100", "U-P"), 15
+        )
+        buffer, _ = replay_clients_threaded(
+            small_database.tree, clients, LRU, 16, shards=4
+        )
+        assert disk.stats.reads - reads_before == buffer.stats.misses
+
+    def test_worker_error_propagates(self, small_database):
+        class Broken(Query):
+            @property
+            def region(self):
+                raise RuntimeError("client crashed")
+
+            def run(self, index, accessor=None):
+                raise RuntimeError("client crashed")
+
+        clients = make_clients(small_database, ("U-P",), 5)
+        clients.append(
+            ClientStream(name="bad", queries=(Broken(),))
+        )
+        with pytest.raises(RuntimeError, match="client crashed"):
+            replay_clients_threaded(
+                small_database.tree, clients, LRU, 16, shards=2
+            )
