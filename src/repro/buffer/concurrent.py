@@ -61,6 +61,7 @@ from repro.storage.page import Page, PageId
 if TYPE_CHECKING:
     from repro.buffer.policies.base import ReplacementPolicy
     from repro.obs.events import EventSink
+    from repro.wal.manager import DurabilityManager
 
 #: A fresh policy per shard — policy instances bind to one buffer manager.
 PolicyFactory = Callable[[], "ReplacementPolicy"]
@@ -118,6 +119,7 @@ class ConcurrentBufferManager:
         policy_factory: PolicyFactory,
         shards: int = 4,
         observer: "EventSink | None" = None,
+        durability: "DurabilityManager | None" = None,
     ) -> None:
         from repro.obs.events import LockingSink
 
@@ -127,9 +129,22 @@ class ConcurrentBufferManager:
             raise ValueError(
                 f"capacity {capacity} cannot give each of {shards} shards a frame"
             )
+        if durability is not None and durability.checkpoint_interval:
+            # A checkpoint must cover *every* frame pool, but the tick hook
+            # fires inside one shard core and sees only that shard's
+            # frames.  Automatic checkpoints would silently violate the
+            # redo-start guarantee; use the explicit checkpoint() instead.
+            raise ValueError(
+                "automatic checkpoints (checkpoint_interval > 0) are only "
+                "valid for a single sequential buffer; call "
+                "ConcurrentBufferManager.checkpoint() explicitly"
+            )
         self.disk = disk
         self.capacity = capacity
         self._observer = LockingSink.wrapping(observer)
+        #: Shared durability seam, if any (all shards feed one WAL; its
+        #: internal lock always nests *inside* the shard locks).
+        self.durability = durability
         base, extra = divmod(capacity, shards)
         self._shards = [
             _Shard(
@@ -138,6 +153,7 @@ class ConcurrentBufferManager:
                     base + (1 if index < extra else 0),
                     policy_factory(),
                     observer=self._observer,
+                    durability=durability,
                 )
             )
             for index in range(shards)
@@ -344,6 +360,34 @@ class ConcurrentBufferManager:
         for shard in self._shards:
             with shard.lock:
                 shard.manager.flush()
+
+    def _require_durability(self) -> "DurabilityManager":
+        if self.durability is None:
+            raise RuntimeError(
+                "no durability seam attached (pass durability= to the "
+                "constructor)"
+            )
+        return self.durability
+
+    def commit(self) -> int:
+        """Request a durability point on the shared WAL (group commit)."""
+        return self._require_durability().commit()
+
+    def checkpoint(self) -> int:
+        """Flush every shard's dirty frames, then log a durable CHECKPOINT.
+
+        Like :meth:`clear`, this is a quiescent-point operation: updates
+        running concurrently with the checkpoint may land in an
+        already-flushed shard and be logged *before* the CHECKPOINT
+        record, which redo would then skip.  Call it between batches, not
+        under them.  Returns the checkpoint LSN.
+        """
+        durability = self._require_durability()
+        durability.begin_checkpoint()
+        for shard in self._shards:
+            with shard.lock:
+                durability.flush_buffer(shard.manager)
+        return durability.finish_checkpoint()
 
     def clear(self, force: bool = False) -> None:
         """Empty every shard and zero the statistics.

@@ -29,6 +29,7 @@ from repro.storage.page import Page, PageId
 if TYPE_CHECKING:
     from repro.buffer.policies.base import ReplacementPolicy
     from repro.obs.events import EventSink
+    from repro.wal.manager import DurabilityManager
 
 
 class BufferFullError(RuntimeError):
@@ -44,6 +45,7 @@ class BufferManager:
         capacity: int,
         policy: "ReplacementPolicy",
         observer: "EventSink | None" = None,
+        durability: "DurabilityManager | None" = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("buffer capacity must be at least 1")
@@ -56,6 +58,10 @@ class BufferManager:
         #: emission site reduces to one attribute check — tracing costs
         #: nothing unless someone listens.
         self.observer = observer
+        #: Optional durability seam (see :mod:`repro.wal.manager`).  Like
+        #: the observer, ``None`` reduces every hook site to one attribute
+        #: check, keeping the undurable core bit-identical.
+        self.durability = durability
         self._clock = 0
         self._query_id = 0
         self._in_query = False
@@ -131,6 +137,9 @@ class BufferManager:
                     query=self._query_id,
                 )
             )
+        durability = self.durability
+        if durability is not None:
+            durability.tick(self)
 
     def serve_hit(self, frame: Frame) -> Page:
         """Step 2a: the page is resident — account the hit and serve it."""
@@ -214,29 +223,49 @@ class BufferManager:
         self._drop(frame)
 
     def _drop(self, frame: Frame) -> None:
-        observer = self.observer
-        if frame.dirty:
-            self.disk.write(frame.page)
-            self.stats.writebacks += 1
-            if observer is not None:
-                observer.emit(
-                    BufferEvent(
-                        kind="writeback", clock=self._clock, page_id=frame.page_id
-                    )
-                )
+        # The evict event reports whether the eviction *found* the frame
+        # dirty; capture that before the write-back cleans the flag.
+        was_dirty = frame.dirty
+        self.writeback_frame(frame)
         del self.frames[frame.page_id]
         self.stats.evictions += 1
+        observer = self.observer
         if observer is not None:
             observer.emit(
                 BufferEvent(
                     kind="evict",
                     clock=self._clock,
                     page_id=frame.page_id,
-                    dirty=frame.dirty,
+                    dirty=was_dirty,
                     age=self._clock - frame.loaded_at,
                 )
             )
         self.policy.on_evict(frame)
+
+    def writeback_frame(self, frame: Frame, disk: object | None = None) -> None:
+        """Write one dirty frame back and mark it clean; no-op when clean.
+
+        The single write-back site shared by evictions, :meth:`flush` and
+        the background flusher (which passes its retry-wrapped ``disk``).
+        When a durability seam is attached, the WAL invariant is enforced
+        here: the page's covering log records are forced durable before
+        the data-disk write.
+        """
+        if not frame.dirty:
+            return
+        durability = self.durability
+        if durability is not None:
+            durability.before_writeback(frame.page_id)
+        (disk if disk is not None else self.disk).write(frame.page)
+        frame.dirty = False
+        self.stats.writebacks += 1
+        observer = self.observer
+        if observer is not None:
+            observer.emit(
+                BufferEvent(
+                    kind="writeback", clock=self._clock, page_id=frame.page_id
+                )
+            )
 
     def install(self, page: Page) -> None:
         """Place a newly allocated page into a frame without a disk read.
@@ -253,6 +282,9 @@ class BufferManager:
             self.discard(page.page_id)
         frame = self._admit(page)
         frame.dirty = True
+        durability = self.durability
+        if durability is not None:
+            durability.on_page_update(frame.page)
 
     def discard(self, page_id: PageId) -> None:
         """Drop a resident page without writing it back.
@@ -327,6 +359,9 @@ class BufferManager:
         frame = self._frame_or_raise(page_id)
         frame.dirty = True
         frame.invalidate_criteria()
+        durability = self.durability
+        if durability is not None:
+            durability.on_page_update(frame.page)
 
     def _frame_or_raise(self, page_id: PageId) -> Frame:
         frame = self.frames.get(page_id)
@@ -340,20 +375,8 @@ class BufferManager:
 
     def flush(self) -> None:
         """Write all dirty frames back to disk without evicting them."""
-        observer = self.observer
         for frame in self.frames.values():
-            if frame.dirty:
-                self.disk.write(frame.page)
-                self.stats.writebacks += 1
-                frame.dirty = False
-                if observer is not None:
-                    observer.emit(
-                        BufferEvent(
-                            kind="writeback",
-                            clock=self._clock,
-                            page_id=frame.page_id,
-                        )
-                    )
+            self.writeback_frame(frame)
 
     def clear(self, force: bool = False) -> None:
         """Empty the buffer (flushing dirty pages) and reset the policy.

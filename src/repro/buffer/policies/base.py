@@ -91,6 +91,21 @@ class ReplacementPolicy(abc.ABC):
         is evictable.
         """
 
+    def flush_priority(self, frame: Frame) -> float:
+        """Order dirty frames for background write-back (lower = sooner).
+
+        The background flusher (:mod:`repro.wal.manager`) cleans cold
+        dirty frames ahead of their eviction so the eviction itself finds
+        them clean.  "Cold" is the policy's notion: by default the
+        least-recently-used dirty frames flush first, which matches every
+        recency-based victim order; policies with a different eviction
+        order (MRU, FIFO) override this so the flusher keeps following
+        it.  Reading frame metadata only — implementations must not
+        mutate policy state, or background flushing would perturb the
+        replacement decisions it is meant to serve.
+        """
+        return float(frame.last_access)
+
     # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------

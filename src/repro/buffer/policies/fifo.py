@@ -7,6 +7,7 @@ wider baseline ablation.
 
 from __future__ import annotations
 
+from repro.buffer.frames import Frame
 from repro.buffer.policies.base import ReplacementPolicy
 from repro.storage.page import PageId
 
@@ -19,3 +20,7 @@ class FIFO(ReplacementPolicy):
     def select_victim(self) -> PageId:
         frames = self._evictable()
         return min(frames, key=lambda frame: frame.loaded_at).page_id
+
+    def flush_priority(self, frame: Frame) -> float:
+        # FIFO's eviction order ignores recency: oldest arrival goes first.
+        return float(frame.loaded_at)

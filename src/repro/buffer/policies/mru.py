@@ -7,6 +7,7 @@ included to give the baseline ablation a known-bad contrast point.
 
 from __future__ import annotations
 
+from repro.buffer.frames import Frame
 from repro.buffer.policies.base import ReplacementPolicy
 from repro.storage.page import PageId
 
@@ -19,3 +20,7 @@ class MRU(ReplacementPolicy):
     def select_victim(self) -> PageId:
         frames = self._evictable()
         return max(frames, key=lambda frame: frame.last_access).page_id
+
+    def flush_priority(self, frame: Frame) -> float:
+        # MRU evicts the *hottest* frame first, so those flush first too.
+        return -float(frame.last_access)

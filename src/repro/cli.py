@@ -16,7 +16,9 @@ Four commands cover the common workflows without writing any code:
 * ``reproduce`` — run every figure and ablation, writing a markdown report;
 * ``bench concurrent`` — sweep real threads × buffer shards against the
   concurrent buffer service, reporting throughput / hit ratio / miss
-  coalescing per grid cell (optionally saved as JSON).
+  coalescing per grid cell (optionally saved as JSON);
+* ``bench wal`` — measure group-commit fsync batching and crash-recovery
+  time over a durable update stream (optionally saved as JSON).
 
 Examples::
 
@@ -28,6 +30,7 @@ Examples::
     python -m repro events record --set S-W-100 --policy ASB --out /tmp/t.jsonl
     python -m repro events replay /tmp/t.jsonl --policy LRU
     python -m repro bench concurrent --threads 1,2,4,8,16 --shards 1,4,8
+    python -m repro bench wal --steps 4000 --out BENCH_wal.json
 """
 
 from __future__ import annotations
@@ -210,6 +213,24 @@ def _build_parser() -> argparse.ArgumentParser:
     concurrent.add_argument("--seed", type=int, default=7)
     concurrent.add_argument("--out", default=None,
                             help="also write the sweep as JSON to this path")
+    wal = bench_commands.add_parser(
+        "wal",
+        help="group-commit batching and recovery time of the durable path",
+    )
+    wal.add_argument("--steps", type=int, default=4_000,
+                     help="update-stream length (writes/allocs/frees/commits)")
+    wal.add_argument("--pages", type=int, default=128,
+                     help="base pages on the durable disk")
+    wal.add_argument("--capacity", type=int, default=32,
+                     help="buffer frames")
+    wal.add_argument("--page-size", type=int, default=512)
+    wal.add_argument("--windows", default="1,2,4,8,16",
+                     help="comma-separated group-commit windows to sweep")
+    wal.add_argument("--checkpoint-intervals", default="0,1000,250,50",
+                     help="comma-separated checkpoint intervals (0 = never)")
+    wal.add_argument("--seed", type=int, default=7)
+    wal.add_argument("--out", default=None,
+                     help="also write the report as JSON to this path")
     return parser
 
 
@@ -430,8 +451,44 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    # Only one bench so far; the subparser enforces its presence.
+    if args.bench_command == "wal":
+        return _cmd_bench_wal(args)
     return _cmd_bench_concurrent(args)
+
+
+def _cmd_bench_wal(args: argparse.Namespace) -> int:
+    from repro.experiments.walbench import run_wal_bench
+
+    try:
+        windows = [int(item) for item in args.windows.split(",") if item]
+        intervals = [
+            int(item) for item in args.checkpoint_intervals.split(",") if item
+        ]
+    except ValueError:
+        print("--windows/--checkpoint-intervals must be comma-separated "
+              "integers", file=sys.stderr)
+        return 2
+    if not windows or not intervals:
+        print("--windows/--checkpoint-intervals must name at least one value",
+              file=sys.stderr)
+        return 2
+    report = run_wal_bench(
+        steps_count=args.steps,
+        pages=args.pages,
+        capacity=args.capacity,
+        page_size=args.page_size,
+        seed=args.seed,
+        windows=windows,
+        checkpoint_intervals=intervals,
+    )
+    print(report.to_text())
+    if any(not point.property_holds for point in report.recovery):
+        print("recovery property BROKEN — see table above", file=sys.stderr)
+        return 1
+    if args.out:
+        report.save(args.out)
+        print(f"wrote wal bench report -> {args.out}")
+    return 0
 
 
 def _cmd_bench_concurrent(args: argparse.Namespace) -> int:

@@ -1,0 +1,282 @@
+"""WAL benchmarks: group-commit batching and recovery time.
+
+Two sweeps over the same deterministic update stream
+(:func:`repro.wal.harness.random_steps`):
+
+* **Group commit** — vary the group-commit window and report how the
+  fsync count per committed operation falls (the batching factor
+  ``commits / fsyncs``), along with append/byte volumes and wall time.
+  fsyncs are the unit a real log pays for; the window trades commit
+  latency for fewer of them.
+* **Recovery** — vary the checkpoint interval, "crash" at the end of the
+  stream (drop all volatile state, keep the byte media), and time
+  :func:`repro.wal.recovery.recover` on the remounted media.  Denser
+  checkpoints mean fewer records to redo and faster recovery; each cell
+  also re-checks the crash property (recovered image == durable-prefix
+  replay), so the benchmark doubles as an end-to-end correctness run.
+
+Wall-clock numbers are hardware-dependent; the deterministic quantities
+(record counts, fsync counts, the property) are asserted or reported
+exactly.  ``python -m repro bench wal`` writes ``BENCH_wal.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Sequence
+
+from repro.buffer.manager import BufferManager
+from repro.buffer.policies.lru import LRU
+from repro.wal.bytestore import MemoryByteStore
+from repro.wal.durable import DurableDisk
+from repro.wal.harness import Step, apply_steps, make_base_image, random_steps
+from repro.wal.log import WriteAheadLog
+from repro.wal.manager import DurabilityManager
+from repro.wal.recovery import recover, replay_durable_prefix
+
+
+@dataclass(slots=True)
+class GroupCommitPoint:
+    """One group-commit window measurement."""
+
+    group_window: int
+    commits: int
+    fsyncs: int
+    appends: int
+    records_flushed: int
+    bytes_flushed: int
+    seconds: float
+
+    @property
+    def commits_per_fsync(self) -> float:
+        """The batching factor (1.0 = synchronous commit)."""
+        if self.fsyncs == 0:
+            return 0.0
+        return self.commits / self.fsyncs
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["commits_per_fsync"] = round(self.commits_per_fsync, 2)
+        data["seconds"] = round(self.seconds, 4)
+        return data
+
+
+@dataclass(slots=True)
+class RecoveryPoint:
+    """One recovery timing at a given checkpoint density."""
+
+    checkpoint_interval: int
+    wal_records: int
+    checkpoints: int
+    records_redone: int
+    redo_from_lsn: int
+    seconds: float
+    property_holds: bool
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["seconds"] = round(self.seconds, 5)
+        return data
+
+
+@dataclass(slots=True)
+class WalBenchReport:
+    """Both sweeps plus the shared workload parameters."""
+
+    steps: int
+    pages: int
+    capacity: int
+    page_size: int
+    seed: int
+    group_commit: list[GroupCommitPoint] = field(default_factory=list)
+    recovery: list[RecoveryPoint] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "benchmark": "wal",
+            "steps": self.steps,
+            "pages": self.pages,
+            "capacity": self.capacity,
+            "page_size": self.page_size,
+            "seed": self.seed,
+            "group_commit": [point.to_dict() for point in self.group_commit],
+            "recovery": [point.to_dict() for point in self.recovery],
+        }
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+            handle.write("\n")
+
+    def to_text(self) -> str:
+        lines = [
+            f"wal bench — {self.steps} update steps over {self.pages} base "
+            f"pages, {self.capacity} frames, {self.page_size} B pages",
+            "",
+            "group commit:",
+            f"{'window':>7} {'commits':>8} {'fsyncs':>7} {'c/fsync':>8} "
+            f"{'appends':>8} {'KiB flushed':>12} {'wall s':>8}",
+        ]
+        for point in self.group_commit:
+            lines.append(
+                f"{point.group_window:>7} {point.commits:>8} "
+                f"{point.fsyncs:>7} {point.commits_per_fsync:>8.2f} "
+                f"{point.appends:>8} {point.bytes_flushed / 1024:>12.1f} "
+                f"{point.seconds:>8.3f}"
+            )
+        lines += [
+            "",
+            "recovery:",
+            f"{'ckpt every':>10} {'records':>8} {'ckpts':>6} {'redone':>7} "
+            f"{'redo from':>10} {'wall s':>9} {'property':>9}",
+        ]
+        for point in self.recovery:
+            lines.append(
+                f"{point.checkpoint_interval:>10} {point.wal_records:>8} "
+                f"{point.checkpoints:>6} {point.records_redone:>7} "
+                f"{point.redo_from_lsn:>10} {point.seconds:>9.5f} "
+                f"{'ok' if point.property_holds else 'BROKEN':>9}"
+            )
+        return "\n".join(lines)
+
+
+def _drive(
+    base_image: bytes,
+    steps: Sequence[Step],
+    *,
+    seed: int,
+    page_size: int,
+    capacity: int,
+    group_window: int,
+    flush_interval: int = 7,
+    checkpoint_interval: int = 0,
+) -> tuple[DurableDisk, DurabilityManager, float]:
+    """Run one stream to completion; returns media, seam and wall time."""
+    disk = DurableDisk.from_image(base_image, page_size=page_size)
+    durability = DurabilityManager(
+        disk,
+        group_window=group_window,
+        flush_interval=flush_interval,
+        checkpoint_interval=checkpoint_interval,
+    )
+    buffer = BufferManager(disk, capacity, LRU(), durability=durability)
+    rng = random.Random(seed ^ 0x5EED)
+    started = time.perf_counter()
+    apply_steps(buffer, durability, steps, rng, page_size)
+    durability.sync()
+    elapsed = time.perf_counter() - started
+    return disk, durability, elapsed
+
+
+def sweep_group_commit(
+    base_image: bytes,
+    steps: Sequence[Step],
+    windows: Sequence[int],
+    *,
+    seed: int,
+    page_size: int,
+    capacity: int,
+) -> list[GroupCommitPoint]:
+    """Measure the fsync cost of the same stream at each commit window."""
+    points = []
+    for window in windows:
+        _, durability, elapsed = _drive(
+            base_image,
+            steps,
+            seed=seed,
+            page_size=page_size,
+            capacity=capacity,
+            group_window=window,
+        )
+        stats = durability.wal.stats
+        points.append(
+            GroupCommitPoint(
+                group_window=window,
+                commits=stats.commits,
+                fsyncs=stats.fsyncs,
+                appends=stats.appends,
+                records_flushed=stats.records_flushed,
+                bytes_flushed=stats.bytes_flushed,
+                seconds=elapsed,
+            )
+        )
+    return points
+
+
+def sweep_recovery(
+    base_image: bytes,
+    steps: Sequence[Step],
+    checkpoint_intervals: Sequence[int],
+    *,
+    seed: int,
+    page_size: int,
+    capacity: int,
+) -> list[RecoveryPoint]:
+    """Time recovery of the same stream at each checkpoint density.
+
+    The "crash" is a hard stop at the end of the stream: volatile state
+    is dropped and the media are remounted, exactly as the crash-property
+    harness does.
+    """
+    points = []
+    for interval in checkpoint_intervals:
+        disk, durability, _ = _drive(
+            base_image,
+            steps,
+            seed=seed,
+            page_size=page_size,
+            capacity=capacity,
+            group_window=4,
+            checkpoint_interval=interval,
+        )
+        wal = WriteAheadLog(store=MemoryByteStore(durability.wal.store.image()))
+        remounted = DurableDisk.from_image(disk.image(), page_size=page_size)
+        started = time.perf_counter()
+        report = recover(wal, remounted)
+        elapsed = time.perf_counter() - started
+        points.append(
+            RecoveryPoint(
+                checkpoint_interval=interval,
+                wal_records=report.records_scanned,
+                checkpoints=report.checkpoints_seen,
+                records_redone=report.records_redone,
+                redo_from_lsn=report.redo_from_lsn,
+                seconds=elapsed,
+                property_holds=remounted.image()
+                == replay_durable_prefix(wal, base_image, page_size=page_size),
+            )
+        )
+    return points
+
+
+def run_wal_bench(
+    steps_count: int = 4_000,
+    pages: int = 128,
+    capacity: int = 32,
+    page_size: int = 512,
+    seed: int = 7,
+    windows: Sequence[int] = (1, 2, 4, 8, 16),
+    checkpoint_intervals: Sequence[int] = (0, 1_000, 250, 50),
+) -> WalBenchReport:
+    """Both sweeps over one deterministic stream."""
+    base_image = make_base_image(pages=pages, seed=seed, page_size=page_size)
+    steps = random_steps(seed, steps_count, pages)
+    report = WalBenchReport(
+        steps=steps_count,
+        pages=pages,
+        capacity=capacity,
+        page_size=page_size,
+        seed=seed,
+    )
+    report.group_commit = sweep_group_commit(
+        base_image, steps, windows,
+        seed=seed, page_size=page_size, capacity=capacity,
+    )
+    report.recovery = sweep_recovery(
+        base_image, steps, checkpoint_intervals,
+        seed=seed, page_size=page_size, capacity=capacity,
+    )
+    return report

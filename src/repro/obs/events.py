@@ -14,7 +14,20 @@ writeback   a dirty page was written to disk (eviction or flush)
 promote     ASB moved an overflow page back to the main part
 adapt       ASB re-tuned its candidate set (``size`` = new size,
             ``delta`` = signed step, 0 when the criteria tied)
+wal_append  a record entered the write-ahead log (``lsn``, ``page_id``)
+wal_fsync   the durable log tail advanced (``lsn`` = flushed LSN,
+            ``size`` = records made durable by this fsync)
+bg_flush    the background flusher cleaned dirty frames without
+            evicting them (``size`` = frames written back)
+checkpoint  a checkpoint record became durable (``lsn``)
+recover     crash recovery finished (``lsn`` = last replayed LSN,
+            ``size`` = records redone)
 ==========  ==========================================================
+
+The durability events (``wal_*``, ``bg_flush``, ``checkpoint``,
+``recover``) are emitted by :mod:`repro.wal`; their ``clock`` field
+carries the log's LSN scale rather than a buffer's logical clock, since
+one write-ahead log may serve several buffer shards.
 
 Emission order within one request is fixed: ``fetch`` first, then either
 ``hit`` (followed by any policy events such as ``adapt``/``promote``) or
@@ -32,7 +45,20 @@ from dataclasses import asdict, dataclass
 from typing import Iterable, Protocol
 
 #: The closed set of event kinds, in canonical order.
-EVENT_KINDS = ("fetch", "hit", "miss", "evict", "writeback", "promote", "adapt")
+EVENT_KINDS = (
+    "fetch",
+    "hit",
+    "miss",
+    "evict",
+    "writeback",
+    "promote",
+    "adapt",
+    "wal_append",
+    "wal_fsync",
+    "bg_flush",
+    "checkpoint",
+    "recover",
+)
 
 
 @dataclass(slots=True, frozen=True)
@@ -49,6 +75,7 @@ class BufferEvent:
     age: int | None = None
     size: int | None = None
     delta: int | None = None
+    lsn: int | None = None
 
     def to_dict(self) -> dict:
         """A compact dict: ``None`` fields are omitted."""

@@ -122,15 +122,20 @@ class SpatialIndex(abc.ABC):
 
         Used for the update experiments (the paper's future work #2/#3):
         inside the context, inserts and deletes fetch their pages through
-        the buffer and dirty the pages they mutate.
+        the buffer and dirty the pages they mutate.  The accessor is also
+        attached to the page file, so any ``pagefile.free`` — including
+        frees that bypass :meth:`_free_page` — invalidates residual
+        buffered frames before the id becomes reusable.
         """
         if self._live_accessor is not None:
             raise RuntimeError("a live accessor is already installed")
         self._live_accessor = accessor
+        self.pagefile.attach_accessor(accessor)
         try:
             yield
         finally:
             self._live_accessor = None
+            self.pagefile.detach_accessor()
 
     # ------------------------------------------------------------------
     # Construction

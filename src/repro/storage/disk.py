@@ -26,6 +26,65 @@ class DiskError(IOError):
     """Raised when the simulated disk is told to fail an access."""
 
 
+class TransientDiskError(DiskError):
+    """A failure that may succeed on retry (bus glitch, busy device).
+
+    The retry helpers in :mod:`repro.storage.retry` retry these with
+    bounded backoff; a plain :class:`DiskError` is permanent and is
+    re-raised immediately.
+    """
+
+
+class FailureInjectionMixin:
+    """Failure-injection state shared by every disk implementation.
+
+    Two modes:
+
+    * **permanent** — ``fail_reads`` / ``fail_writes`` are page-id sets;
+      every access fails with :class:`DiskError` until the id is removed;
+    * **transient** — :meth:`fail_transiently` arms the next ``times``
+      accesses of one page to fail with :class:`TransientDiskError`, after
+      which the access succeeds — the shape a bounded-retry wrapper must
+      survive.
+    """
+
+    fail_reads: set[PageId]
+    fail_writes: set[PageId]
+    _transient_failures: dict[tuple[str, PageId], int]
+
+    def _init_failure_injection(self) -> None:
+        self.fail_reads = set()
+        self.fail_writes = set()
+        #: (op, page_id) -> remaining injected transient failures.
+        self._transient_failures = {}
+
+    def fail_transiently(
+        self, page_id: PageId, op: str = "read", times: int = 1
+    ) -> None:
+        """Arm the next ``times`` ``op`` accesses of ``page_id`` to fail."""
+        if op not in ("read", "write"):
+            raise ValueError(f"op must be 'read' or 'write', not {op!r}")
+        if times < 1:
+            raise ValueError("times must be at least 1")
+        self._transient_failures[(op, page_id)] = times
+
+    def _check_failure(self, op: str, page_id: PageId) -> None:
+        """Raise the armed failure for this access, if any."""
+        permanent = self.fail_reads if op == "read" else self.fail_writes
+        if page_id in permanent:
+            raise DiskError(f"injected {op} failure for page {page_id}")
+        key = (op, page_id)
+        remaining = self._transient_failures.get(key)
+        if remaining is not None:
+            if remaining <= 1:
+                del self._transient_failures[key]
+            else:
+                self._transient_failures[key] = remaining - 1
+            raise TransientDiskError(
+                f"injected transient {op} failure for page {page_id}"
+            )
+
+
 @dataclass(slots=True)
 class DiskStats:
     """Access counters of a simulated disk."""
@@ -62,7 +121,7 @@ class LatencyModel:
     sequential_ms: float = 1.0
 
 
-class SimulatedDisk:
+class SimulatedDisk(FailureInjectionMixin):
     """In-memory page store with access accounting.
 
     Pages are stored by reference — the simulation measures access counts,
@@ -79,9 +138,7 @@ class SimulatedDisk:
         #: concurrent buffer shards can share one disk without losing
         #: counts (``+=`` on a dataclass field is not atomic).
         self._stats_lock = threading.Lock()
-        #: Page ids whose next read/write raises :class:`DiskError`.
-        self.fail_reads: set[PageId] = set()
-        self.fail_writes: set[PageId] = set()
+        self._init_failure_injection()
 
     # ------------------------------------------------------------------
     # Accounted accesses
@@ -89,8 +146,7 @@ class SimulatedDisk:
 
     def read(self, page_id: PageId) -> Page:
         """Read a page, counting one disk access."""
-        if page_id in self.fail_reads:
-            raise DiskError(f"injected read failure for page {page_id}")
+        self._check_failure("read", page_id)
         try:
             page = self._pages[page_id]
         except KeyError:
@@ -108,8 +164,7 @@ class SimulatedDisk:
 
     def write(self, page: Page) -> None:
         """Write a page back, counting one disk access."""
-        if page.page_id in self.fail_writes:
-            raise DiskError(f"injected write failure for page {page.page_id}")
+        self._check_failure("write", page.page_id)
         self._pages[page.page_id] = page
         with self._stats_lock:
             self.stats.writes += 1

@@ -9,6 +9,8 @@ which matters for the disk's sequential-access detection.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.storage.disk import SimulatedDisk
 from repro.storage.page import Page, PageId, PageType
 
@@ -20,6 +22,23 @@ class PageFile:
         self.disk = disk if disk is not None else SimulatedDisk()
         self._next_id: PageId = 0
         self._freed: list[PageId] = []
+        self._accessor: Any = None
+
+    def attach_accessor(self, accessor: Any) -> None:
+        """Register the buffer serving this file's pages.
+
+        While attached, :meth:`free` invalidates the page's buffered frame
+        before releasing the id.  Without the hook, freeing a resident
+        (possibly dirty) page leaves a stale frame: a later allocation
+        reusing the id would be shadowed by the dead frame, and its dirty
+        write-back would clobber the reused page — the classic
+        deallocation bug of buffer managers.
+        ``SpatialIndex.via`` attaches the live accessor automatically.
+        """
+        self._accessor = accessor
+
+    def detach_accessor(self) -> None:
+        self._accessor = None
 
     def allocate(self, page_type: PageType, level: int = 0) -> Page:
         """Create a new empty page and store it (unaccounted).
@@ -37,9 +56,18 @@ class PageFile:
         return page
 
     def free(self, page_id: PageId) -> None:
-        """Release a page; its id becomes reusable."""
+        """Release a page; its id becomes reusable.
+
+        If an accessor is attached (see :meth:`attach_accessor`), any
+        resident frame for the page is discarded first, so the freed id
+        can be reused without serving stale content or writing a dead
+        dirty frame over the new page.
+        """
         if page_id not in self.disk:
             raise KeyError(f"cannot free unknown page {page_id}")
+        discard = getattr(self._accessor, "discard", None)
+        if discard is not None:
+            discard(page_id)
         self.disk.delete(page_id)
         self._freed.append(page_id)
 

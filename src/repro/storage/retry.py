@@ -1,0 +1,118 @@
+"""Bounded retry with backoff for transient disk failures.
+
+Real devices fail in two ways: permanently (media gone, slot corrupt) and
+transiently (busy bus, recoverable timeout).  The injection API of the
+disks (:meth:`~repro.storage.disk.FailureInjectionMixin.fail_transiently`)
+distinguishes the two; this module provides the consumer side — a retry
+wrapper that survives a bounded burst of
+:class:`~repro.storage.disk.TransientDiskError` and gives up immediately
+on a permanent :class:`~repro.storage.disk.DiskError`.
+
+The background flusher and the crash-recovery path wrap their disk with
+:class:`RetryingDisk`, so a glitch during write-back or redo does not turn
+into data loss.  Backoff sleeps go through an injectable ``sleeper`` so
+tests stay instant and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, TypeVar
+
+from repro.storage.disk import TransientDiskError
+from repro.storage.page import Page, PageId
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """How many times to retry a transient failure, and how long to wait.
+
+    ``attempts`` counts the *total* number of tries (first try included);
+    the delay before retry ``n`` (1-based) is
+    ``base_delay_s * multiplier ** (n - 1)``, capped at ``max_delay_s`` —
+    classic bounded exponential backoff.
+    """
+
+    attempts: int = 4
+    base_delay_s: float = 0.001
+    multiplier: float = 2.0
+    max_delay_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be at least 1")
+
+    def delay(self, retry_index: int) -> float:
+        """Backoff before the ``retry_index``-th retry (1-based)."""
+        return min(
+            self.base_delay_s * self.multiplier ** (retry_index - 1),
+            self.max_delay_s,
+        )
+
+
+def call_with_retry(
+    operation: Callable[[], T],
+    policy: RetryPolicy | None = None,
+    sleeper: Callable[[float], None] | None = None,
+) -> T:
+    """Run ``operation``, retrying transient disk errors with backoff.
+
+    A :class:`TransientDiskError` is retried up to ``policy.attempts``
+    total tries, sleeping ``policy.delay(n)`` before retry ``n``.  Any
+    other exception — including a permanent :class:`DiskError` —
+    propagates immediately.  The last transient error is re-raised once
+    the attempt budget is exhausted.
+    """
+    policy = policy or RetryPolicy()
+    if sleeper is None:
+        import time
+
+        sleeper = time.sleep
+    last_error: TransientDiskError | None = None
+    for attempt in range(1, policy.attempts + 1):
+        try:
+            return operation()
+        except TransientDiskError as error:
+            last_error = error
+            if attempt == policy.attempts:
+                break
+            sleeper(policy.delay(attempt))
+    assert last_error is not None
+    raise last_error
+
+
+class RetryingDisk:
+    """A disk wrapper that retries transient read/write failures.
+
+    Implements the accessed subset of the disk surface (``read``,
+    ``write``) with retry semantics and forwards everything else to the
+    wrapped disk, so it can stand in wherever a disk is expected.  The
+    flusher and the recovery path use it; the measured query path does
+    not — a retried access costs extra accounted accesses by design
+    (retries are real disk work).
+    """
+
+    def __init__(
+        self,
+        disk: Any,
+        policy: RetryPolicy | None = None,
+        sleeper: Callable[[float], None] | None = None,
+    ) -> None:
+        self.disk = disk
+        self.policy = policy or RetryPolicy()
+        self._sleeper = sleeper
+
+    def read(self, page_id: PageId) -> Page:
+        return call_with_retry(
+            lambda: self.disk.read(page_id), self.policy, self._sleeper
+        )
+
+    def write(self, page: Page) -> None:
+        call_with_retry(
+            lambda: self.disk.write(page), self.policy, self._sleeper
+        )
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self.disk, name)

@@ -26,7 +26,7 @@ import struct
 from pathlib import Path
 
 from repro.geometry.rect import Rect
-from repro.storage.disk import DiskError, DiskStats, LatencyModel
+from repro.storage.disk import DiskStats, FailureInjectionMixin, LatencyModel
 from repro.storage.page import Page, PageEntry, PageId, PageType
 
 MAGIC = b"RP"
@@ -120,7 +120,7 @@ def decode_page(blob: bytes, page_id: PageId) -> Page:
     return page
 
 
-class FileDisk:
+class FileDisk(FailureInjectionMixin):
     """A page store backed by a real file, with the SimulatedDisk interface.
 
     Pages occupy fixed-size slots addressed by page id.  Reads decode the
@@ -144,8 +144,7 @@ class FileDisk:
         self._latency = latency or LatencyModel()
         self._last_read: PageId | None = None
         self.stats = DiskStats()
-        self.fail_reads: set[PageId] = set()
-        self.fail_writes: set[PageId] = set()
+        self._init_failure_injection()
         #: Ids with a live page in their slot (slot reuse leaves garbage).
         self._live: set[PageId] = set()
         # "a+b" must not be used: POSIX append mode forces every write to
@@ -169,8 +168,7 @@ class FileDisk:
     # ------------------------------------------------------------------
 
     def read(self, page_id: PageId) -> Page:
-        if page_id in self.fail_reads:
-            raise DiskError(f"injected read failure for page {page_id}")
+        self._check_failure("read", page_id)
         if page_id not in self._live:
             raise KeyError(f"page {page_id} does not exist on disk")
         self._file.seek(page_id * self.page_size)
@@ -186,8 +184,7 @@ class FileDisk:
         return decode_page(blob, page_id)
 
     def write(self, page: Page) -> None:
-        if page.page_id in self.fail_writes:
-            raise DiskError(f"injected write failure for page {page.page_id}")
+        self._check_failure("write", page.page_id)
         self._store(page)
         self.stats.writes += 1
         self.stats.elapsed_ms += self._latency.random_ms

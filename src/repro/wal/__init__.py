@@ -1,0 +1,56 @@
+"""Durable write path: WAL, group commit, write-back and crash recovery.
+
+The package adds a durability layer *beside* the replacement-policy core
+(the paper's subject), never inside it: buffer managers gain a single
+optional ``durability`` seam, and with it unplugged the sequential cores
+are bit-identical to the undurable build (golden traces unchanged).
+
+Layering, bottom up:
+
+- :mod:`repro.wal.bytestore` — byte media with explicit ``sync``.
+- :mod:`repro.wal.crash` — named crash points and the injector.
+- :mod:`repro.wal.durable` — checksummed page slots over a byte store.
+- :mod:`repro.wal.log` — the append/fsync log with group commit.
+- :mod:`repro.wal.manager` — the :class:`DurabilityManager` seam: page
+  LSNs, the WAL invariant, background flusher and checkpointer.
+- :mod:`repro.wal.recovery` — redo recovery and the replay oracle.
+- :mod:`repro.wal.harness` — crash-injection property harness.
+"""
+
+from repro.wal.bytestore import ByteStore, FileByteStore, MemoryByteStore
+from repro.wal.crash import CRASH_POINTS, CrashError, CrashInjector
+from repro.wal.durable import DurableDisk, TornPageError
+from repro.wal.log import (
+    CHECKPOINT,
+    COMMIT,
+    FREE,
+    PAGE_IMAGE,
+    WalRecord,
+    WalStats,
+    WriteAheadLog,
+)
+from repro.wal.manager import DurabilityManager, WalInvariantError
+from repro.wal.recovery import RecoveryReport, recover, replay_durable_prefix
+
+__all__ = [
+    "ByteStore",
+    "FileByteStore",
+    "MemoryByteStore",
+    "CRASH_POINTS",
+    "CrashError",
+    "CrashInjector",
+    "DurableDisk",
+    "TornPageError",
+    "PAGE_IMAGE",
+    "FREE",
+    "COMMIT",
+    "CHECKPOINT",
+    "WalRecord",
+    "WalStats",
+    "WriteAheadLog",
+    "DurabilityManager",
+    "WalInvariantError",
+    "RecoveryReport",
+    "recover",
+    "replay_durable_prefix",
+]

@@ -68,6 +68,7 @@ class TestEventModel:
     def test_kinds_are_closed_set(self):
         assert EVENT_KINDS == (
             "fetch", "hit", "miss", "evict", "writeback", "promote", "adapt",
+            "wal_append", "wal_fsync", "bg_flush", "checkpoint", "recover",
         )
 
     def test_to_dict_drops_none_fields(self):

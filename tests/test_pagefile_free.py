@@ -1,0 +1,89 @@
+"""Regression tests for the free/discard interaction (PageFile + buffer).
+
+The bug class: freeing a page whose frame is still resident (and possibly
+dirty) leaves a stale frame behind.  When the id is reused by a later
+allocation, the old frame shadows the new page's content — and if the old
+frame was dirty, its eventual write-back clobbers the new page on disk.
+``PageFile.free`` now discards the resident frame through the attached
+accessor before releasing the id.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.buffer.manager import BufferManager
+from repro.buffer.policies.lru import LRU
+from repro.geometry.rect import Rect
+from repro.storage.page import PageEntry, PageType
+from repro.storage.pagefile import PageFile
+from repro.sam.rstar import RStarTree
+
+
+def entry(payload: int) -> PageEntry:
+    return PageEntry(mbr=Rect(0.0, 0.0, 1.0, 1.0), payload=payload)
+
+
+class TestFreeDiscardsResidentFrame:
+    def make_rig(self, capacity=4):
+        pagefile = PageFile()
+        buffer = BufferManager(pagefile.disk, capacity, LRU())
+        pagefile.attach_accessor(buffer)
+        return pagefile, buffer
+
+    def test_freed_then_reused_id_serves_the_new_page(self):
+        pagefile, buffer = self.make_rig()
+        old = pagefile.allocate(PageType.DATA)
+        old.entries.append(entry(111))
+        fetched = buffer.fetch(old.page_id)
+        fetched.entries.append(entry(222))
+        buffer.mark_dirty(old.page_id)
+        pagefile.free(old.page_id)
+        reused = pagefile.allocate(PageType.DATA, level=1)
+        assert reused.page_id == old.page_id
+        served = buffer.fetch(reused.page_id)
+        # Without the discard hook this served the stale (dirty) frame.
+        assert served.level == 1
+        assert served.entries == []
+
+    def test_free_drops_dirty_frame_without_writeback(self):
+        pagefile, buffer = self.make_rig()
+        page = pagefile.allocate(PageType.DATA)
+        buffer.fetch(page.page_id)
+        buffer.mark_dirty(page.page_id)
+        pagefile.free(page.page_id)
+        assert not buffer.contains(page.page_id)
+        assert buffer.stats.writebacks == 0  # dead content is not written
+        assert pagefile.disk.stats.writes == 0
+
+    def test_free_without_accessor_still_works(self):
+        pagefile = PageFile()
+        page = pagefile.allocate(PageType.DATA)
+        pagefile.free(page.page_id)
+        assert pagefile.page_count == 0
+
+    def test_free_unknown_page_raises(self):
+        pagefile, _ = self.make_rig()
+        with pytest.raises(KeyError):
+            pagefile.free(99)
+
+    def test_detach_restores_old_behaviour(self):
+        pagefile, buffer = self.make_rig()
+        page = pagefile.allocate(PageType.DATA)
+        buffer.fetch(page.page_id)
+        pagefile.detach_accessor()
+        pagefile.free(page.page_id)
+        assert buffer.contains(page.page_id)  # no accessor, no discard
+
+
+class TestViaAttachesAccessor:
+    def test_via_scope_wires_the_pagefile(self):
+        tree = RStarTree(max_dir_entries=4, max_data_entries=4)
+        tree.bulk_load(
+            (Rect(i / 10, 0.0, i / 10 + 0.05, 0.05), i) for i in range(30)
+        )
+        buffer = BufferManager(tree.pagefile.disk, 8, LRU())
+        assert tree.pagefile._accessor is None
+        with tree.via(buffer):
+            assert tree.pagefile._accessor is buffer
+        assert tree.pagefile._accessor is None
