@@ -40,7 +40,7 @@ POLICIES = {
     "LRU-2": lambda: LRUK(k=2),
     "A": lambda: SpatialPolicy("A"),
     "EO": lambda: SpatialPolicy("EO"),
-    "SLRU": lambda: SLRU(fraction=0.25),
+    "SLRU": lambda: SLRU(candidate_fraction=0.25),
     "ASB": ASB,
     "2Q": TwoQ,
     "ARC": ARC,

@@ -27,6 +27,18 @@ Quickstart::
     with buffer.query_scope():
         hits = tree.window_query(Rect(0.4, 0.4, 0.45, 0.45), accessor=buffer)
     print(len(hits), buffer.stats.snapshot())
+
+Or, through the one-call facade (the construction path the CLI, the page
+server and the experiment harness all use)::
+
+    from repro import BufferSystem
+
+    system = BufferSystem.build(policy="ASB", capacity=200,
+                                disk=tree.pagefile.disk)
+
+The page-service front-end lives in :mod:`repro.server` (asyncio server
+with admission control) and :mod:`repro.client` (pipelined async client
+plus a synchronous wrapper).
 """
 
 from repro.access import (
@@ -35,8 +47,13 @@ from repro.access import (
     FullPageAccessor,
     PageAccessor,
 )
+from repro.api import BufferSystem, build_buffer_system
 from repro.buffer.concurrent import ConcurrentBufferManager
 from repro.buffer.manager import BufferFullError, BufferManager
+from repro.buffer.policies import (
+    make_policy,
+    policy_names,
+)
 from repro.buffer.policies import (
     ARC,
     ASB,
@@ -95,7 +112,12 @@ __all__ = [
     "BufferManager",
     "ConcurrentBufferManager",
     "BufferFullError",
+    # facade
+    "BufferSystem",
+    "build_buffer_system",
     # policies
+    "make_policy",
+    "policy_names",
     "LRU",
     "FIFO",
     "Clock",

@@ -1,0 +1,326 @@
+"""``repro.api`` — one construction path for the whole buffer stack.
+
+Historically every consumer (CLI, experiments, tests, benchmarks)
+hand-wired a disk, a policy, a :class:`~repro.buffer.manager.BufferManager`
+or :class:`~repro.buffer.concurrent.ConcurrentBufferManager`, an optional
+:class:`~repro.wal.manager.DurabilityManager` and an optional event sink.
+:func:`BufferSystem.build` consolidates that wiring into a single call::
+
+    from repro.api import BufferSystem
+
+    system = BufferSystem.build(policy="ASB", capacity=64)
+    page = system.fetch(3)
+
+    # Concurrent, durable, traced:
+    system = BufferSystem.build(
+        policy="LRU-2", capacity=128, shards=4,
+        durability=True, trace=True,
+    )
+    ...
+    system.close()        # drain: flush through the WAL path, sync the log
+
+Defaults are deliberately boring: no shards (a plain sequential
+``BufferManager``), no durability, no tracing — a default build is
+bit-identical to the hand-wired seed construction, which the golden-trace
+tests pin down.  The page server (:mod:`repro.server`), the CLI and the
+experiment harness all construct through this facade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Mapping
+
+from repro.buffer.concurrent import ConcurrentBufferManager
+from repro.buffer.manager import BufferManager
+from repro.buffer.policies import make_policy
+from repro.buffer.policies.base import ReplacementPolicy
+
+if TYPE_CHECKING:
+    from contextlib import AbstractContextManager
+
+    from repro.obs.events import EventSink, TraceRecorder
+    from repro.storage.page import Page, PageId
+    from repro.wal.manager import DurabilityManager
+
+#: What ``policy=`` accepts: a registry name, a ready instance (sequential
+#: builds only), or a zero-argument factory (required for sharded builds).
+PolicyLike = "str | ReplacementPolicy | Callable[[], ReplacementPolicy]"
+
+#: Keys accepted by ``durability=dict(...)``; forwarded to
+#: :class:`~repro.wal.manager.DurabilityManager`.
+_DURABILITY_KEYS = (
+    "group_window",
+    "flush_interval",
+    "flush_batch",
+    "checkpoint_interval",
+    "retry",
+)
+
+
+@dataclass
+class BufferSystem:
+    """A fully wired buffer stack: disk, buffer, policy, WAL, observer.
+
+    Build one with :meth:`build`; the attributes expose every layer for
+    direct use, and the common page operations are delegated so a
+    ``BufferSystem`` can be handed to anything written against the page
+    accessor protocol.
+    """
+
+    buffer: "BufferManager | ConcurrentBufferManager"
+    disk: object
+    policy_name: str
+    observer: "EventSink | None" = None
+    recorder: "TraceRecorder | None" = None
+    durability: "DurabilityManager | None" = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        *,
+        policy: "str | ReplacementPolicy | Callable[[], ReplacementPolicy]" = "LRU",
+        capacity: int = 64,
+        disk: object | None = None,
+        shards: int | None = None,
+        durability: "bool | Mapping | DurabilityManager | None" = None,
+        trace: "bool | EventSink | None" = None,
+        policy_kwargs: Mapping | None = None,
+        page_size: int = 4096,
+    ) -> "BufferSystem":
+        """Wire a complete buffer system in one call.
+
+        ``policy``
+            A registry name (see :func:`repro.buffer.policies.make_policy`),
+            a ready :class:`ReplacementPolicy` instance, or a zero-argument
+            factory.  ``policy_kwargs`` are forwarded when a name is given.
+        ``disk``
+            Any page store (:class:`~repro.storage.disk.SimulatedDisk`,
+            :class:`~repro.wal.durable.DurableDisk`, ...).  Defaults to a
+            fresh in-memory ``SimulatedDisk`` — or a fresh ``DurableDisk``
+            when durability is requested.
+        ``shards``
+            ``None`` (default) builds the sequential
+            :class:`BufferManager` — bit-identical to the seed wiring.
+            An integer builds the thread-safe
+            :class:`ConcurrentBufferManager` with that many shards.
+        ``durability``
+            ``None`` for the undurable core; ``True`` for a default
+            :class:`DurabilityManager`; a mapping for one with those
+            keyword arguments (``group_window``, ``flush_interval``,
+            ``flush_batch``, ``checkpoint_interval``, ``retry``); or a
+            ready manager.  Requires (or creates) a ``DurableDisk``.
+        ``trace``
+            ``True`` attaches a fresh
+            :class:`~repro.obs.events.TraceRecorder` (exposed as
+            ``system.recorder``); any event sink is attached as-is.
+        """
+        from repro.obs.events import TraceRecorder
+
+        # --- observer ---------------------------------------------------
+        recorder = None
+        observer = None
+        if trace is True:
+            recorder = TraceRecorder()
+            observer = recorder
+        elif trace is not None and trace is not False:
+            # Identity checks, not truthiness: an *empty* recorder is
+            # falsy (it has __len__) but is still a sink to attach.
+            observer = trace
+
+        # --- durability -------------------------------------------------
+        durability_manager = cls._build_durability(durability, disk, page_size)
+        if durability_manager is not None:
+            disk = durability_manager.disk
+        elif disk is None:
+            from repro.storage.disk import SimulatedDisk
+
+            disk = SimulatedDisk()
+
+        # --- policy + buffer -------------------------------------------
+        policy_kwargs = dict(policy_kwargs or {})
+        if isinstance(policy, str):
+            policy_name = policy
+            factory = lambda: make_policy(policy_name, **policy_kwargs)  # noqa: E731
+        elif isinstance(policy, ReplacementPolicy):
+            if shards is not None and shards > 1:
+                raise ValueError(
+                    "a ready policy instance binds to one buffer core; "
+                    "sharded builds need a name or factory (one fresh "
+                    "policy per shard)"
+                )
+            if policy_kwargs:
+                raise ValueError("policy_kwargs require a policy name")
+            policy_name = policy.name
+            instance = policy
+            factory = lambda: instance  # noqa: E731
+        elif callable(policy):
+            if policy_kwargs:
+                raise ValueError("policy_kwargs require a policy name")
+            probe = policy()
+            if not isinstance(probe, ReplacementPolicy):
+                raise TypeError(
+                    f"policy factory returned {type(probe).__name__}, "
+                    "not a ReplacementPolicy"
+                )
+            policy_name = probe.name
+            first = [probe]
+            factory = lambda: first.pop() if first else policy()  # noqa: E731
+        else:
+            raise TypeError(
+                "policy must be a name, a ReplacementPolicy, or a factory; "
+                f"got {type(policy).__name__}"
+            )
+
+        if shards is None:
+            buffer: BufferManager | ConcurrentBufferManager = BufferManager(
+                disk,
+                capacity,
+                factory(),
+                observer=observer,
+                durability=durability_manager,
+            )
+        else:
+            buffer = ConcurrentBufferManager(
+                disk,
+                capacity,
+                factory,
+                shards=shards,
+                observer=observer,
+                durability=durability_manager,
+            )
+        return cls(
+            buffer=buffer,
+            disk=disk,
+            policy_name=policy_name,
+            observer=observer,
+            recorder=recorder,
+            durability=durability_manager,
+        )
+
+    @staticmethod
+    def _build_durability(
+        durability: "bool | Mapping | DurabilityManager | None",
+        disk: object | None,
+        page_size: int,
+    ) -> "DurabilityManager | None":
+        if durability is None or durability is False:
+            return None
+        from repro.wal.durable import DurableDisk
+        from repro.wal.manager import DurabilityManager
+
+        if isinstance(durability, DurabilityManager):
+            if disk is not None and durability.disk is not disk:
+                raise ValueError(
+                    "durability manager is bound to a different disk than "
+                    "the one passed as disk="
+                )
+            return durability
+        if durability is True:
+            kwargs: dict = {}
+        elif isinstance(durability, Mapping):
+            unknown = sorted(set(durability) - set(_DURABILITY_KEYS))
+            if unknown:
+                raise TypeError(
+                    f"unknown durability option(s) {unknown}; accepted: "
+                    + ", ".join(_DURABILITY_KEYS)
+                )
+            kwargs = dict(durability)
+        else:
+            raise TypeError(
+                "durability must be None/True, a mapping of options, or a "
+                f"DurabilityManager; got {type(durability).__name__}"
+            )
+        if disk is None:
+            disk = DurableDisk(page_size=page_size)
+        elif not isinstance(disk, DurableDisk):
+            raise TypeError(
+                "durability requires a DurableDisk (byte-durable medium); "
+                f"got {type(disk).__name__}"
+            )
+        return DurabilityManager(disk, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Page accessor delegation
+    # ------------------------------------------------------------------
+
+    def fetch(self, page_id: "PageId") -> "Page":
+        return self.buffer.fetch(page_id)
+
+    def install(self, page: "Page") -> None:
+        self.buffer.install(page)
+
+    def discard(self, page_id: "PageId") -> None:
+        self.buffer.discard(page_id)
+
+    def mark_dirty(self, page_id: "PageId") -> None:
+        self.buffer.mark_dirty(page_id)
+
+    def pin(self, page_id: "PageId") -> None:
+        self.buffer.pin(page_id)
+
+    def unpin(self, page_id: "PageId") -> None:
+        self.buffer.unpin(page_id)
+
+    def pinned(self, page_id: "PageId") -> "AbstractContextManager[Page]":
+        return self.buffer.pinned(page_id)
+
+    def query_scope(self) -> "AbstractContextManager[int]":
+        return self.buffer.query_scope()
+
+    # ------------------------------------------------------------------
+    # Lifecycle and introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self.buffer.capacity
+
+    @property
+    def is_concurrent(self) -> bool:
+        return isinstance(self.buffer, ConcurrentBufferManager)
+
+    def stats_snapshot(self) -> dict:
+        """The buffer statistics as a plain dict."""
+        snapshot = getattr(self.buffer, "stats_snapshot", None)
+        if snapshot is not None:
+            return snapshot()
+        return self.buffer.stats.snapshot()
+
+    def commit(self) -> int:
+        """Request a durability point; flushes the buffer when undurable."""
+        if self.durability is not None:
+            return self.durability.commit()
+        self.buffer.flush()
+        return 0
+
+    def close(self) -> None:
+        """Graceful drain: flush dirty frames through the WAL path, sync.
+
+        With durability attached this takes a full checkpoint (every dirty
+        frame written back under the WAL invariant, then a durable
+        CHECKPOINT record) and forces the log tail durable; without it,
+        the dirty frames are simply written back.  Idempotent.
+        """
+        self.buffer.drain()
+
+    def __enter__(self) -> "BufferSystem":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self.buffer)
+
+    def resident_ids(self) -> "list[PageId]":
+        return self.buffer.resident_ids()
+
+
+def build_buffer_system(**kwargs) -> BufferSystem:
+    """Module-level convenience alias of :meth:`BufferSystem.build`."""
+    return BufferSystem.build(**kwargs)

@@ -310,6 +310,32 @@ class ConcurrentBufferManager:
         with shard.lock:
             shard.manager.unpin(page_id)
 
+    @property
+    def pinned_count(self) -> int:
+        """Pinned resident frames across all shards (snapshot)."""
+        total = 0
+        for shard in self._shards:
+            with shard.lock:
+                total += shard.manager._pinned_frames
+        return total
+
+    def fetch_pinned(self, page_id: PageId) -> Page:
+        """Fetch a page and pin it in one step, race-safe (service hook).
+
+        Another thread's eviction can win the window between the fetch
+        and the pin, so the pair retries under the shard lock until the
+        page is both resident and pinned — the same loop as
+        :meth:`pinned`, but with the pin's lifetime owned by the caller
+        (the page service holds it across requests until UNPIN).
+        """
+        shard = self._shard(page_id)
+        while True:
+            page = self.fetch(page_id)
+            with shard.lock:
+                if page_id in shard.manager.frames:
+                    shard.manager.pin(page_id)
+                    return page
+
     @contextmanager
     def pinned(self, page_id: PageId) -> Iterator[Page]:
         """RAII pin guard, race-safe: retries if the page is evicted
@@ -360,6 +386,22 @@ class ConcurrentBufferManager:
         for shard in self._shards:
             with shard.lock:
                 shard.manager.flush()
+
+    def drain(self) -> None:
+        """Graceful-shutdown hook: flush everything through the WAL path.
+
+        With a durability seam attached this is a full checkpoint (all
+        shards flushed under the WAL invariant, durable CHECKPOINT
+        record) followed by a log sync, so the durable medium equals a
+        committed-prefix replay; without one it is a plain :meth:`flush`.
+        Like :meth:`checkpoint`, call it at a quiescent point — the page
+        server stops admitting requests before draining.
+        """
+        if self.durability is not None:
+            self.checkpoint()
+            self.durability.sync()
+        else:
+            self.flush()
 
     def _require_durability(self) -> "DurabilityManager":
         if self.durability is None:

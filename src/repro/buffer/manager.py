@@ -33,7 +33,14 @@ if TYPE_CHECKING:
 
 
 class BufferFullError(RuntimeError):
-    """Raised when every frame is pinned and a new page must be loaded."""
+    """Every frame is pinned and a new page must be loaded.
+
+    This is the buffer's *typed backpressure signal*: in-process callers
+    catch it and release pins (or retry later); the page service
+    (:mod:`repro.server`) translates it into a ``RETRY_AFTER`` response
+    instead of letting it kill the connection.  It is raised before any
+    state changes, so a failed admission leaves the buffer intact.
+    """
 
 
 class BufferManager:
@@ -318,12 +325,28 @@ class BufferManager:
     # Pinning and dirtying
     # ------------------------------------------------------------------
 
+    @property
+    def pinned_count(self) -> int:
+        """Number of resident frames currently holding at least one pin."""
+        return self._pinned_frames
+
     def pin(self, page_id: PageId) -> None:
         """Protect a resident page from eviction (e.g. R-tree root pinning)."""
         frame = self._frame_or_raise(page_id)
         frame.pin_count += 1
         if frame.pin_count == 1:
             self._pinned_frames += 1
+
+    def fetch_pinned(self, page_id: PageId) -> Page:
+        """Fetch a page and pin it in one step (service hook).
+
+        The page-service PIN operation needs "make resident, then pin"
+        as one call; sequentially that is just fetch + pin.  The caller
+        owns the pin and must :meth:`unpin` it later.
+        """
+        page = self.fetch(page_id)
+        self.pin(page_id)
+        return page
 
     @contextmanager
     def pinned(self, page_id: PageId) -> Iterator[Page]:
@@ -377,6 +400,21 @@ class BufferManager:
         """Write all dirty frames back to disk without evicting them."""
         for frame in self.frames.values():
             self.writeback_frame(frame)
+
+    def drain(self) -> None:
+        """Graceful-shutdown hook: flush everything through the WAL path.
+
+        With a durability seam attached this takes a checkpoint (all
+        dirty frames written back under the WAL invariant, durable
+        CHECKPOINT record) and syncs the log; without one it is a plain
+        :meth:`flush`.
+        """
+        durability = self.durability
+        if durability is not None:
+            durability.checkpoint(self)
+            durability.sync()
+        else:
+            self.flush()
 
     def clear(self, force: bool = False) -> None:
         """Empty the buffer (flushing dirty pages) and reset the policy.

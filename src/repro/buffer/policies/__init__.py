@@ -17,6 +17,12 @@ The policy zoo follows the paper's taxonomy:
 * self-tuning (Section 4.2) — :class:`ASB`, the adaptable spatial buffer.
 """
 
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable
+
 from repro.buffer.policies.arc import ARC
 from repro.buffer.policies.asb import ASB
 from repro.buffer.policies.base import ReplacementPolicy
@@ -39,8 +45,181 @@ from repro.buffer.policies.spatial import (
 )
 from repro.buffer.policies.two_q import TwoQ
 
+# ----------------------------------------------------------------------
+# The policy registry: one construction path for the whole zoo
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """One registered policy: canonical name, constructor, keyword surface.
+
+    ``keywords`` is the *normalised* keyword set the constructor accepts —
+    the registry rejects anything else up front with a message naming the
+    accepted spellings, so callers get one coherent error instead of
+    seventeen slightly different ``TypeError`` texts.
+    """
+
+    name: str
+    factory: Callable[..., ReplacementPolicy]
+    keywords: tuple[str, ...] = ()
+    aliases: tuple[str, ...] = ()
+    description: str = ""
+    defaults: dict = field(default_factory=dict)
+
+    def build(self, **kwargs) -> ReplacementPolicy:
+        unknown = sorted(set(kwargs) - set(self.keywords))
+        if unknown:
+            accepted = ", ".join(self.keywords) or "none"
+            raise TypeError(
+                f"policy {self.name!r} does not accept keyword(s) "
+                f"{unknown}; accepted keywords: {accepted}"
+            )
+        merged = {**self.defaults, **kwargs}
+        return self.factory(**merged)
+
+
+def _specs() -> dict[str, PolicySpec]:
+    entries = [
+        PolicySpec("LRU", LRU, description="least recently used"),
+        PolicySpec("FIFO", FIFO, description="first in, first out"),
+        PolicySpec("CLOCK", Clock, description="second-chance clock"),
+        PolicySpec(
+            "GCLOCK",
+            GClock,
+            keywords=("initial_weight", "max_count"),
+            description="generalized clock with weighted counters",
+        ),
+        PolicySpec("LFU", LFU, description="least frequently used"),
+        PolicySpec("MRU", MRU, description="most recently used"),
+        PolicySpec(
+            "RANDOM",
+            RandomPolicy,
+            keywords=("seed",),
+            description="uniform random victim (seeded)",
+        ),
+        PolicySpec("LRU-T", LRUT, description="type-based LRU (Section 2.1)"),
+        PolicySpec(
+            "LRU-P",
+            LRUP,
+            keywords=("priority",),
+            description="priority/level-based LRU (Section 2.1)",
+        ),
+        PolicySpec(
+            "LRU-K",
+            LRUK,
+            keywords=("k", "retain_history"),
+            aliases=("LRUK",),
+            description="history-based LRU-K (Section 2.2)",
+        ),
+        PolicySpec(
+            "SLRU",
+            SLRU,
+            keywords=("candidate_fraction", "criterion"),
+            description="static LRU candidate set + spatial victim (4.1)",
+        ),
+        PolicySpec(
+            "ASB",
+            ASB,
+            keywords=(
+                "criterion",
+                "overflow_fraction",
+                "candidate_fraction",
+                "step_fraction",
+                "record_trace",
+            ),
+            description="adaptable spatial buffer (Section 4.2)",
+        ),
+        PolicySpec(
+            "2Q",
+            TwoQ,
+            keywords=("kin_fraction", "kout_fraction"),
+            aliases=("TWOQ",),
+            description="2Q (Johnson/Shasha 1994)",
+        ),
+        PolicySpec("ARC", ARC, description="adaptive replacement cache"),
+        PolicySpec(
+            "DOMAIN",
+            DomainSeparation,
+            keywords=("shares",),
+            aliases=("DOMAIN-SEPARATION",),
+            description="per-category LRU pools with static shares",
+        ),
+    ]
+    # The named LRU-K variants the experiments sweep (Fig. 4-9).
+    for k in (2, 3, 5):
+        entries.append(
+            PolicySpec(
+                f"LRU-{k}",
+                LRUK,
+                keywords=("retain_history",),
+                defaults={"k": k},
+                description=f"LRU-K with K={k}",
+            )
+        )
+    # The pure spatial criteria are policies of their own in the paper.
+    for criterion in sorted(SPATIAL_CRITERIA):
+        entries.append(
+            PolicySpec(
+                criterion,
+                SpatialPolicy,
+                keywords=(),
+                defaults={"criterion": criterion},
+                description=f"pure spatial replacement, criterion {criterion}",
+            )
+        )
+    registry: dict[str, PolicySpec] = {}
+    for spec in entries:
+        for key in (spec.name, *spec.aliases):
+            registry[key.upper()] = spec
+    return registry
+
+
+POLICY_REGISTRY: dict[str, PolicySpec] = _specs()
+
+#: Matches parameterised LRU-K names ("LRU-4", "LRU-7") beyond the three
+#: pre-registered variants.
+_LRU_K_NAME = re.compile(r"^LRU-(\d+)$")
+
+
+def policy_names() -> list[str]:
+    """The canonical policy names, sorted (aliases excluded)."""
+    return sorted({spec.name for spec in POLICY_REGISTRY.values()})
+
+
+def make_policy(name: str, **kwargs) -> ReplacementPolicy:
+    """Construct a policy by canonical name with normalised keywords.
+
+    The single construction path used by the CLI, the ``repro.api``
+    facade, and the page server: names are case-insensitive and accept a
+    few historical aliases; keywords are validated against the policy's
+    normalised surface, so misspellings fail with the accepted list.
+    Parameterised LRU-K names (``LRU-4``) resolve to ``LRUK(k=4)``.
+
+    >>> make_policy("asb").name
+    'ASB'
+    >>> make_policy("SLRU", candidate_fraction=0.5).name
+    'SLRU 50%'
+    """
+    key = name.strip().upper()
+    spec = POLICY_REGISTRY.get(key)
+    if spec is None:
+        match = _LRU_K_NAME.match(key)
+        if match:
+            return LRUK(k=int(match.group(1)), **kwargs)
+        raise ValueError(
+            f"unknown policy {name!r}; known policies: "
+            + ", ".join(policy_names())
+        )
+    return spec.build(**kwargs)
+
+
 __all__ = [
     "ReplacementPolicy",
+    "PolicySpec",
+    "POLICY_REGISTRY",
+    "make_policy",
+    "policy_names",
     "LRU",
     "ARC",
     "TwoQ",

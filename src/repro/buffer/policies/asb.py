@@ -39,7 +39,7 @@ from collections import OrderedDict
 
 from repro.buffer.frames import Frame
 from repro.buffer.manager import BufferFullError, BufferManager
-from repro.buffer.policies.base import ReplacementPolicy
+from repro.buffer.policies.base import ReplacementPolicy, deprecated_keyword
 from repro.buffer.policies.spatial import SPATIAL_CRITERIA, spatial_criterion
 from repro.obs.events import BufferEvent
 from repro.storage.page import PageId
@@ -52,22 +52,28 @@ class ASB(ReplacementPolicy):
         self,
         criterion: str = "A",
         overflow_fraction: float = 0.2,
-        initial_fraction: float = 0.25,
+        candidate_fraction: float = 0.25,
         step_fraction: float = 0.01,
         record_trace: bool = False,
+        *,
+        initial_fraction: float | None = None,
     ) -> None:
         super().__init__()
+        if initial_fraction is not None:
+            candidate_fraction = deprecated_keyword(
+                "ASB", "initial_fraction", "candidate_fraction", initial_fraction
+            )
         if criterion not in SPATIAL_CRITERIA:
             raise ValueError(f"unknown spatial criterion {criterion!r}")
         if not 0.0 <= overflow_fraction < 1.0:
             raise ValueError("overflow fraction must be in [0, 1)")
-        if not 0.0 < initial_fraction <= 1.0:
+        if not 0.0 < candidate_fraction <= 1.0:
             raise ValueError("initial candidate fraction must be in (0, 1]")
         if not 0.0 < step_fraction <= 1.0:
             raise ValueError("step fraction must be in (0, 1]")
         self.criterion = criterion
         self.overflow_fraction = overflow_fraction
-        self.initial_fraction = initial_fraction
+        self.candidate_fraction = candidate_fraction
         self.step_fraction = step_fraction
         self.record_trace = record_trace
         self.name = "ASB"
@@ -98,8 +104,14 @@ class ASB(ReplacementPolicy):
     def _initial_candidate_size(self) -> int:
         return min(
             self.main_capacity,
-            max(1, round(self.initial_fraction * self.main_capacity)),
+            max(1, round(self.candidate_fraction * self.main_capacity)),
         )
+
+    @property
+    def initial_fraction(self) -> float:
+        """Deprecated alias of :attr:`candidate_fraction`."""
+        deprecated_keyword("ASB", "initial_fraction", "candidate_fraction", None)
+        return self.candidate_fraction
 
     @property
     def candidate_size(self) -> int:

@@ -18,7 +18,13 @@ Four commands cover the common workflows without writing any code:
   concurrent buffer service, reporting throughput / hit ratio / miss
   coalescing per grid cell (optionally saved as JSON);
 * ``bench wal`` — measure group-commit fsync batching and crash-recovery
-  time over a durable update stream (optionally saved as JSON).
+  time over a durable update stream (optionally saved as JSON);
+* ``serve`` — run the asyncio page-service front-end over a durable,
+  sharded buffer system (ctrl-C drains dirty frames through the WAL
+  before exiting);
+* ``bench serve`` — throughput/latency sweep of the page service over
+  1→8 concurrent clients plus a backpressure probe demonstrating
+  ``RETRY_AFTER`` rejection under overload (writes ``BENCH_serve.json``).
 
 Examples::
 
@@ -31,6 +37,8 @@ Examples::
     python -m repro events replay /tmp/t.jsonl --policy LRU
     python -m repro bench concurrent --threads 1,2,4,8,16 --shards 1,4,8
     python -m repro bench wal --steps 4000 --out BENCH_wal.json
+    python -m repro serve --port 7007 --policy ASB --shards 4
+    python -m repro bench serve --clients 1,2,4,8 --out BENCH_serve.json
 """
 
 from __future__ import annotations
@@ -39,49 +47,15 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.buffer.policies import (
-    ARC,
-    ASB,
-    FIFO,
-    LFU,
-    LRU,
-    LRUK,
-    LRUP,
-    LRUT,
-    MRU,
-    SLRU,
-    Clock,
-    DomainSeparation,
-    GClock,
-    RandomPolicy,
-    SpatialPolicy,
-    TwoQ,
-)
+from repro.buffer.policies import make_policy, policy_names
 
-#: Policy names accepted by ``replay --policy``.
+#: Policy names accepted by ``--policy`` options, derived from the policy
+#: registry (see :func:`repro.buffer.policies.make_policy`).  The "LRU-K"
+#: meta-entry is excluded — the CLI offers the concrete LRU-2/3/5 variants.
 POLICY_FACTORIES = {
-    "LRU": LRU,
-    "FIFO": FIFO,
-    "CLOCK": Clock,
-    "LFU": LFU,
-    "MRU": MRU,
-    "RANDOM": RandomPolicy,
-    "LRU-T": LRUT,
-    "LRU-P": LRUP,
-    "LRU-2": lambda: LRUK(k=2),
-    "LRU-3": lambda: LRUK(k=3),
-    "LRU-5": lambda: LRUK(k=5),
-    "A": lambda: SpatialPolicy("A"),
-    "EA": lambda: SpatialPolicy("EA"),
-    "M": lambda: SpatialPolicy("M"),
-    "EM": lambda: SpatialPolicy("EM"),
-    "EO": lambda: SpatialPolicy("EO"),
-    "SLRU": lambda: SLRU(fraction=0.25),
-    "ASB": ASB,
-    "2Q": TwoQ,
-    "ARC": ARC,
-    "GCLOCK": GClock,
-    "DOMAIN": DomainSeparation,
+    name: (lambda name=name: make_policy(name))
+    for name in policy_names()
+    if name != "LRU-K"
 }
 
 
@@ -191,6 +165,30 @@ def _build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument("--seed", type=int, default=7)
     reproduce.add_argument("--figures-only", action="store_true")
 
+    serve = commands.add_parser(
+        "serve", help="run the page-service front-end (ctrl-C to drain)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 = pick a free one)")
+    serve.add_argument("--policy", default="LRU",
+                       choices=sorted(POLICY_FACTORIES))
+    serve.add_argument("--capacity", type=int, default=128,
+                       help="buffer frames")
+    serve.add_argument("--shards", type=int, default=4,
+                       help="buffer shards (0 = sequential core)")
+    serve.add_argument("--pages", type=int, default=512,
+                       help="pages preloaded on the durable disk")
+    serve.add_argument("--page-size", type=int, default=512)
+    serve.add_argument("--max-inflight", type=int, default=16,
+                       help="requests executing at once")
+    serve.add_argument("--max-queued", type=int, default=64,
+                       help="requests allowed to wait for a slot")
+    serve.add_argument("--per-client-limit", type=int, default=None,
+                       help="one client's admitted+queued bound")
+    serve.add_argument("--request-timeout", type=float, default=None,
+                       help="seconds before a request fails with TIMEOUT")
+
     bench = commands.add_parser(
         "bench", help="performance benchmarks of the buffer services"
     )
@@ -213,6 +211,23 @@ def _build_parser() -> argparse.ArgumentParser:
     concurrent.add_argument("--seed", type=int, default=7)
     concurrent.add_argument("--out", default=None,
                             help="also write the sweep as JSON to this path")
+    bench_serve = bench_commands.add_parser(
+        "serve",
+        help="client sweep + backpressure probe of the page service",
+    )
+    bench_serve.add_argument("--policy", default="LRU",
+                             choices=sorted(POLICY_FACTORIES))
+    bench_serve.add_argument("--capacity", type=int, default=128)
+    bench_serve.add_argument("--shards", type=int, default=4)
+    bench_serve.add_argument("--pages", type=int, default=512)
+    bench_serve.add_argument("--page-size", type=int, default=512)
+    bench_serve.add_argument("--clients", default="1,2,4,8",
+                             help="comma-separated client counts to sweep")
+    bench_serve.add_argument("--requests", type=int, default=400,
+                             help="requests per client")
+    bench_serve.add_argument("--seed", type=int, default=7)
+    bench_serve.add_argument("--out", default="BENCH_serve.json",
+                             help="output JSON path")
     wal = bench_commands.add_parser(
         "wal",
         help="group-commit batching and recovery time of the durable path",
@@ -450,10 +465,94 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.api import BufferSystem
+    from repro.experiments.servebench import make_seed_page
+    from repro.server import PageServer
+
+    system = BufferSystem.build(
+        policy=args.policy,
+        capacity=args.capacity,
+        shards=args.shards or None,
+        durability=True,
+        page_size=args.page_size,
+    )
+    for page_id in range(args.pages):
+        system.disk.store(make_seed_page(page_id, page_id, args.page_size))
+    server = PageServer(
+        system,
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        max_queued=args.max_queued,
+        per_client_limit=args.per_client_limit,
+        request_timeout=args.request_timeout,
+        page_size=args.page_size,
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        print(
+            f"page service on {server.host}:{server.port} — "
+            f"{args.policy} @ {args.capacity} frames, "
+            f"{args.shards} shard(s), {args.pages} pages (ctrl-C to drain)"
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+            print("drained and stopped")
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     if args.bench_command == "wal":
         return _cmd_bench_wal(args)
+    if args.bench_command == "serve":
+        return _cmd_bench_serve(args)
     return _cmd_bench_concurrent(args)
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    from repro.experiments.servebench import run_serve_bench
+
+    try:
+        client_counts = [int(item) for item in args.clients.split(",") if item]
+    except ValueError:
+        print("--clients must be comma-separated integers", file=sys.stderr)
+        return 2
+    if not client_counts:
+        print("--clients must name at least one value", file=sys.stderr)
+        return 2
+    report = run_serve_bench(
+        policy=args.policy,
+        capacity=args.capacity,
+        shards=args.shards or None,
+        pages=args.pages,
+        page_size=args.page_size,
+        client_counts=client_counts,
+        requests_per_client=args.requests,
+        seed=args.seed,
+    )
+    print(report.to_text())
+    probe = report.backpressure
+    if probe is None or probe.retry_after == 0:
+        print("backpressure probe saw no RETRY_AFTER — admission control "
+              "is not rejecting under overload", file=sys.stderr)
+        return 1
+    if args.out:
+        report.save(args.out)
+        print(f"wrote serve bench report -> {args.out}")
+    return 0
 
 
 def _cmd_bench_wal(args: argparse.Namespace) -> int:
@@ -538,6 +637,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "advise": _cmd_advise,
         "map": _cmd_map,
         "reproduce": _cmd_reproduce,
+        "serve": _cmd_serve,
         "bench": _cmd_bench,
     }
     return handlers[args.command](args)

@@ -1,0 +1,264 @@
+"""``repro.client`` — async and sync clients for the page service.
+
+:class:`AsyncPageClient` speaks the framed protocol of
+:mod:`repro.server.protocol` with full *pipelining*: each request gets a
+fresh request id and a future, a single reader task matches responses by
+id, and any number of requests may be outstanding at once::
+
+    client = await AsyncPageClient.connect("127.0.0.1", port)
+    pages = await asyncio.gather(*(client.fetch(i) for i in range(32)))
+    await client.close()
+
+:class:`PageClient` is the synchronous wrapper: it runs an event loop on
+a private daemon thread and exposes the same operations as plain calls —
+the shape the benchmarks and most tests want.
+
+Failures map to three exceptions:
+
+* :class:`ServerError` — the server answered ``ERROR`` (``.code`` is an
+  :class:`~repro.server.protocol.ErrorCode`); the connection stays usable.
+* :class:`RetryAfter` — the server refused the request under load
+  (``.reason``, ``.hint_ms``); back off and retry.
+* :class:`ConnectionLost` — the transport died; every outstanding
+  request fails with it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import threading
+from typing import TYPE_CHECKING
+
+from repro.server.protocol import (
+    ErrorCode,
+    Op,
+    ProtocolError,
+    RetryReason,
+    Status,
+    encode_request,
+    decode_head,
+    pack_page_id,
+    read_frame,
+    unpack_error,
+    unpack_lsn,
+    unpack_retry_after,
+)
+from repro.storage.serialization import decode_page, encode_page
+
+if TYPE_CHECKING:
+    from repro.storage.page import Page, PageId
+
+
+class ServerError(Exception):
+    """The server answered ``ERROR``; the connection stays usable."""
+
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__(message)
+        try:
+            self.code = ErrorCode(code)
+        except ValueError:
+            self.code = code  # type: ignore[assignment]
+
+
+class RetryAfter(Exception):
+    """Backpressure: the server refused the request; retry after ``hint_ms``."""
+
+    def __init__(self, reason: int, hint_ms: int, message: str) -> None:
+        super().__init__(message or f"retry after {hint_ms}ms")
+        try:
+            self.reason = RetryReason(reason)
+        except ValueError:
+            self.reason = reason  # type: ignore[assignment]
+        self.hint_ms = hint_ms
+
+
+class ConnectionLost(Exception):
+    """The transport died with requests outstanding."""
+
+
+class AsyncPageClient:
+    """Pipelined asyncio client for :class:`~repro.server.PageServer`."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        page_size: int = 4096,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self.page_size = page_size
+        self._request_ids = itertools.count(1)
+        self._pending: dict[int, asyncio.Future] = {}
+        self._closed = False
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, *, page_size: int = 4096
+    ) -> "AsyncPageClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer, page_size=page_size)
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    async def _read_loop(self) -> None:
+        error: BaseException
+        try:
+            while True:
+                frame = await read_frame(self._reader)
+                if frame is None:
+                    error = ConnectionLost("server closed the connection")
+                    break
+                status, request_id, payload = decode_head(frame)
+                future = self._pending.pop(request_id, None)
+                if future is None or future.done():
+                    continue  # response to a request we gave up on
+                if status == Status.OK:
+                    future.set_result(payload)
+                elif status == Status.ERROR:
+                    future.set_exception(ServerError(*unpack_error(payload)))
+                elif status == Status.RETRY_AFTER:
+                    future.set_exception(RetryAfter(*unpack_retry_after(payload)))
+                else:
+                    future.set_exception(
+                        ProtocolError(f"unknown response status {status}")
+                    )
+        except asyncio.CancelledError:
+            error = ConnectionLost("client is closing")
+        except (ProtocolError, ConnectionError, OSError) as exc:
+            error = ConnectionLost(f"connection lost: {exc}")
+        self._fail_pending(error)
+
+    def _fail_pending(self, error: BaseException) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(error)
+
+    async def _request(self, op: Op, payload: bytes = b"") -> bytes:
+        if self._closed:
+            raise ConnectionLost("client is closed")
+        request_id = next(self._request_ids)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            self._writer.write(encode_request(op, request_id, payload))
+            await self._writer.drain()
+        except (ConnectionError, OSError) as exc:
+            self._pending.pop(request_id, None)
+            raise ConnectionLost(f"connection lost: {exc}") from exc
+        return await future
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    async def fetch(self, page_id: "PageId") -> "Page":
+        blob = await self._request(Op.FETCH, pack_page_id(page_id))
+        return decode_page(blob, page_id)
+
+    async def update(self, page: "Page") -> None:
+        payload = pack_page_id(page.page_id) + encode_page(page, self.page_size)
+        await self._request(Op.UPDATE, payload)
+
+    async def pin(self, page_id: "PageId") -> None:
+        await self._request(Op.PIN, pack_page_id(page_id))
+
+    async def unpin(self, page_id: "PageId") -> None:
+        await self._request(Op.UNPIN, pack_page_id(page_id))
+
+    async def commit(self) -> int:
+        return unpack_lsn(await self._request(Op.COMMIT))
+
+    async def stats(self) -> dict:
+        return json.loads((await self._request(Op.STATS)).decode("utf-8"))
+
+
+class PageClient:
+    """Synchronous page-service client (event loop on a daemon thread)."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        page_size: int = 4096,
+        timeout: float = 30.0,
+    ) -> None:
+        self.timeout = timeout
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="page-client-loop", daemon=True
+        )
+        self._thread.start()
+        try:
+            self._client: AsyncPageClient = self._call(
+                AsyncPageClient.connect(host, port, page_size=page_size)
+            )
+        except BaseException:
+            self._shutdown_loop()
+            raise
+
+    def _call(self, coroutine):
+        future = asyncio.run_coroutine_threadsafe(coroutine, self._loop)
+        return future.result(self.timeout)
+
+    def _shutdown_loop(self) -> None:
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(5.0)
+        self._loop.close()
+
+    # ------------------------------------------------------------------
+
+    def fetch(self, page_id: "PageId") -> "Page":
+        return self._call(self._client.fetch(page_id))
+
+    def update(self, page: "Page") -> None:
+        self._call(self._client.update(page))
+
+    def pin(self, page_id: "PageId") -> None:
+        self._call(self._client.pin(page_id))
+
+    def unpin(self, page_id: "PageId") -> None:
+        self._call(self._client.unpin(page_id))
+
+    def commit(self) -> int:
+        return self._call(self._client.commit())
+
+    def stats(self) -> dict:
+        return self._call(self._client.stats())
+
+    def close(self) -> None:
+        if self._loop.is_closed():
+            return
+        try:
+            self._call(self._client.close())
+        finally:
+            self._shutdown_loop()
+
+    def __enter__(self) -> "PageClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -369,8 +369,8 @@ def figure_12(
     )
     policies = {
         "A": lambda: SpatialPolicy(criterion="A"),
-        "SLRU 50%": lambda: SLRU(fraction=0.50),
-        "SLRU 25%": lambda: SLRU(fraction=0.25),
+        "SLRU 50%": lambda: SLRU(candidate_fraction=0.50),
+        "SLRU 25%": lambda: SLRU(candidate_fraction=0.25),
     }
     rows: list[list[object]] = []
     for db_key in ("db1", "db2"):
@@ -415,7 +415,7 @@ def figure_13(
     """
     policies = {
         "A": lambda: SpatialPolicy(criterion="A"),
-        "SLRU": lambda: SLRU(fraction=0.25),
+        "SLRU": lambda: SLRU(candidate_fraction=0.25),
         "ASB": ASB,
         "LRU-2": lambda: LRUK(k=2),
     }

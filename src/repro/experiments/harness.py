@@ -129,11 +129,21 @@ def replay(
     is an optional hook called with (query index, buffer) after each query
     — used e.g. to sample ASB's candidate-set size for Figure 14.
     ``observer`` is an optional event sink receiving the buffer-event
-    stream (see :mod:`repro.obs`).
+    stream (see :mod:`repro.obs`).  Construction goes through the
+    :meth:`repro.api.BufferSystem.build` facade (defaults are
+    bit-identical to the historical hand wiring, which the golden-trace
+    tests pin down).
     """
-    buffer = BufferManager(index.pagefile.disk, capacity, policy, observer=observer)
-    run_queries(buffer, index, query_set, after_query)
-    return buffer
+    from repro.api import BufferSystem
+
+    system = BufferSystem.build(
+        policy=policy,
+        capacity=capacity,
+        disk=index.pagefile.disk,
+        trace=observer,
+    )
+    run_queries(system.buffer, index, query_set, after_query)
+    return system.buffer
 
 
 def replay_mixed(

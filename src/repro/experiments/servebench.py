@@ -1,0 +1,393 @@
+"""Benchmark of the page-service front-end (``bench serve``).
+
+Two measurements, one report (``BENCH_serve.json``):
+
+* **Client sweep** — a live :class:`~repro.server.PageServer` over a
+  durable, sharded buffer system, driven by 1→8 synchronous clients on
+  real threads.  Each cell reports throughput and p50/p99 request
+  latency, and asserts the accounting identity the service must keep
+  under concurrency: ``hits + misses == requests`` on the buffer side.
+
+* **Backpressure probe** — a deliberately tiny server (``max_inflight=1``,
+  ``max_queued=1``) over a *slow* disk, hammered by pipelined async
+  clients.  A correct admission controller answers the overflow with
+  ``RETRY_AFTER`` instead of queueing it; the probe demonstrates a
+  non-zero rejection count and that every rejected request carried a
+  retry hint.
+
+Wall-clock numbers are hardware-dependent by nature; the identities
+(request counts, rejection behaviour) are asserted, the timings are
+reported.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Sequence
+
+from repro.api import BufferSystem
+from repro.client import AsyncPageClient, PageClient, RetryAfter
+from repro.geometry.rect import Rect
+from repro.server import ServerThread
+from repro.server.protocol import RetryReason
+from repro.storage.page import Page, PageEntry, PageType
+
+
+def make_seed_page(page_id: int, payload: int, page_size: int) -> Page:
+    page = Page(page_id=page_id, page_type=PageType.DATA)
+    page.entries.append(
+        PageEntry(mbr=Rect(0.0, 0.0, 1.0, 1.0), payload=payload)
+    )
+    return page
+
+
+def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1)))
+    )
+    return sorted_values[index]
+
+
+class _SlowDisk:
+    """Delegating disk wrapper whose reads take real wall-clock time.
+
+    Only used by the backpressure probe: a slow medium keeps requests
+    in-flight long enough that overload is deterministic, not a race.
+    """
+
+    def __init__(self, inner, delay: float) -> None:
+        self._inner = inner
+        self._delay = delay
+
+    def read(self, page_id):
+        time.sleep(self._delay)
+        return self._inner.read(page_id)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+@dataclass(slots=True)
+class ServePoint:
+    """One cell of the client sweep."""
+
+    clients: int
+    seconds: float
+    requests: int
+    hits: int
+    misses: int
+    retries: int
+    p50_ms: float
+    p99_ms: float
+
+    @property
+    def throughput(self) -> float:
+        if self.seconds <= 0.0:
+            return 0.0
+        return self.requests / self.seconds
+
+    @property
+    def hit_ratio(self) -> float:
+        if self.requests == 0:
+            return 0.0
+        return self.hits / self.requests
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["throughput"] = round(self.throughput, 1)
+        data["hit_ratio"] = round(self.hit_ratio, 4)
+        data["seconds"] = round(self.seconds, 4)
+        data["p50_ms"] = round(self.p50_ms, 3)
+        data["p99_ms"] = round(self.p99_ms, 3)
+        return data
+
+
+@dataclass(slots=True)
+class BackpressureProbe:
+    """What the overloaded tiny server answered."""
+
+    offered: int
+    completed: int
+    retry_after: int
+    retry_reasons: dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass(slots=True)
+class ServeBenchReport:
+    """The full ``bench serve`` report."""
+
+    policy: str
+    capacity: int
+    shards: int
+    pages: int
+    requests_per_client: int
+    points: list[ServePoint] = field(default_factory=list)
+    backpressure: BackpressureProbe | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "benchmark": "page-service",
+            "policy": self.policy,
+            "capacity": self.capacity,
+            "shards": self.shards,
+            "pages": self.pages,
+            "requests_per_client": self.requests_per_client,
+            "points": [point.to_dict() for point in self.points],
+            "backpressure": (
+                self.backpressure.to_dict() if self.backpressure else None
+            ),
+        }
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def to_text(self) -> str:
+        lines = [
+            f"page-service sweep: {self.policy} @ {self.capacity} frames, "
+            f"{self.shards} shards, {self.pages} pages",
+            f"{'clients':>7} {'req/s':>10} {'p50 ms':>8} {'p99 ms':>8} "
+            f"{'hit%':>6} {'retries':>8}",
+        ]
+        for point in self.points:
+            lines.append(
+                f"{point.clients:>7} {point.throughput:>10.0f} "
+                f"{point.p50_ms:>8.2f} {point.p99_ms:>8.2f} "
+                f"{point.hit_ratio:>6.1%} {point.retries:>8}"
+            )
+        probe = self.backpressure
+        if probe is not None:
+            lines.append(
+                f"backpressure probe: {probe.offered} offered, "
+                f"{probe.completed} completed, {probe.retry_after} answered "
+                f"RETRY_AFTER ({probe.retry_reasons})"
+            )
+        return "\n".join(lines)
+
+
+def _build_system(
+    policy: str, capacity: int, shards: int | None, pages: int, page_size: int
+) -> BufferSystem:
+    system = BufferSystem.build(
+        policy=policy,
+        capacity=capacity,
+        shards=shards,
+        durability=True,
+        page_size=page_size,
+    )
+    for page_id in range(pages):
+        system.disk.store(make_seed_page(page_id, page_id, page_size))
+    return system
+
+
+def _client_worker(
+    host: str,
+    port: int,
+    page_size: int,
+    pages: int,
+    requests: int,
+    seed: int,
+    latencies: list,
+    counters: dict,
+    lock: threading.Lock,
+) -> None:
+    rng = random.Random(seed)
+    local_latencies = []
+    retries = 0
+    with PageClient(host, port, page_size=page_size) as client:
+        for step in range(requests):
+            page_id = rng.randrange(pages)
+            started = time.perf_counter()
+            try:
+                if step % 20 == 19:
+                    page = make_seed_page(page_id, rng.randrange(1 << 20), page_size)
+                    client.update(page)
+                    client.commit()
+                else:
+                    client.fetch(page_id)
+            except RetryAfter as exc:
+                retries += 1
+                time.sleep(max(exc.hint_ms, 1) / 1000.0)
+            local_latencies.append(time.perf_counter() - started)
+    with lock:
+        latencies.extend(local_latencies)
+        counters["retries"] = counters.get("retries", 0) + retries
+
+
+def measure_serve_point(
+    *,
+    policy: str,
+    capacity: int,
+    shards: int,
+    pages: int,
+    page_size: int,
+    clients: int,
+    requests_per_client: int,
+    seed: int,
+) -> ServePoint:
+    """Run one cell: ``clients`` threads against a fresh server."""
+    system = _build_system(policy, capacity, shards, pages, page_size)
+    latencies: list[float] = []
+    counters: dict[str, int] = {}
+    lock = threading.Lock()
+    with ServerThread(
+        system,
+        max_inflight=max(8, 2 * clients),
+        max_queued=max(64, 16 * clients),
+        page_size=page_size,
+    ) as server:
+        threads = [
+            threading.Thread(
+                target=_client_worker,
+                args=(
+                    server.host,
+                    server.port,
+                    page_size,
+                    pages,
+                    requests_per_client,
+                    seed + index,
+                    latencies,
+                    counters,
+                    lock,
+                ),
+            )
+            for index in range(clients)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        seconds = time.perf_counter() - started
+        stats = system.stats_snapshot()
+    requests = int(stats["requests"])
+    hits = int(stats["hits"])
+    misses = int(stats["misses"])
+    if hits + misses != requests:
+        raise AssertionError(
+            f"accounting identity broken: {hits} + {misses} != {requests}"
+        )
+    latencies.sort()
+    return ServePoint(
+        clients=clients,
+        seconds=seconds,
+        requests=requests,
+        hits=hits,
+        misses=misses,
+        retries=counters.get("retries", 0),
+        p50_ms=_percentile(latencies, 0.50) * 1000.0,
+        p99_ms=_percentile(latencies, 0.99) * 1000.0,
+    )
+
+
+def probe_backpressure(
+    *,
+    policy: str = "LRU",
+    pages: int = 64,
+    page_size: int = 512,
+    offered: int = 24,
+    read_delay: float = 0.02,
+) -> BackpressureProbe:
+    """Overload a tiny server; count the ``RETRY_AFTER`` answers.
+
+    ``max_inflight=1`` and ``max_queued=1`` over a disk whose every read
+    takes ``read_delay`` seconds: of ``offered`` pipelined requests, at
+    most two can be accepted at once — the rest *must* be rejected with
+    a retry hint, never queued.
+    """
+    system = _build_system(policy, 8, None, pages, page_size)
+    # Swap the slow medium in underneath the buffer: misses now take real
+    # wall-clock time, so the tiny admission window genuinely overflows.
+    system.buffer.disk = _SlowDisk(system.disk, read_delay)
+
+    async def _hammer(host: str, port: int) -> tuple[int, int, dict[str, int]]:
+        client = await AsyncPageClient.connect(host, port, page_size=page_size)
+        try:
+            results = await asyncio.gather(
+                *(client.fetch(page_id % pages) for page_id in range(offered)),
+                return_exceptions=True,
+            )
+        finally:
+            await client.close()
+        completed = sum(1 for item in results if not isinstance(item, Exception))
+        rejected = [item for item in results if isinstance(item, RetryAfter)]
+        reasons: dict[str, int] = {}
+        for item in rejected:
+            name = (
+                item.reason.name
+                if isinstance(item.reason, RetryReason)
+                else str(item.reason)
+            )
+            reasons[name] = reasons.get(name, 0) + 1
+            if item.hint_ms <= 0:
+                raise AssertionError("RETRY_AFTER must carry a positive hint")
+        unexpected = [
+            item
+            for item in results
+            if isinstance(item, Exception) and not isinstance(item, RetryAfter)
+        ]
+        if unexpected:
+            raise unexpected[0]
+        return completed, len(rejected), reasons
+
+    with ServerThread(
+        system, max_inflight=1, max_queued=1, page_size=page_size
+    ) as server:
+        completed, rejected, reasons = asyncio.run(
+            _hammer(server.host, server.port)
+        )
+    return BackpressureProbe(
+        offered=offered,
+        completed=completed,
+        retry_after=rejected,
+        retry_reasons=reasons,
+    )
+
+
+def run_serve_bench(
+    *,
+    policy: str = "LRU",
+    capacity: int = 128,
+    shards: int = 4,
+    pages: int = 512,
+    page_size: int = 512,
+    client_counts: Sequence[int] = (1, 2, 4, 8),
+    requests_per_client: int = 400,
+    seed: int = 7,
+) -> ServeBenchReport:
+    """The full ``bench serve`` run: client sweep + backpressure probe."""
+    report = ServeBenchReport(
+        policy=policy,
+        capacity=capacity,
+        shards=shards,
+        pages=pages,
+        requests_per_client=requests_per_client,
+    )
+    for clients in client_counts:
+        report.points.append(
+            measure_serve_point(
+                policy=policy,
+                capacity=capacity,
+                shards=shards,
+                pages=pages,
+                page_size=page_size,
+                clients=clients,
+                requests_per_client=requests_per_client,
+                seed=seed,
+            )
+        )
+    report.backpressure = probe_backpressure(
+        policy=policy, pages=min(pages, 64), page_size=page_size
+    )
+    return report

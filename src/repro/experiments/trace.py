@@ -20,7 +20,6 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable
 
-from repro.buffer.manager import BufferManager
 from repro.buffer.policies.base import ReplacementPolicy
 from repro.buffer.stats import BufferStats
 from repro.obs.events import EventSink
@@ -147,10 +146,13 @@ def replay_trace(
     optional ``observer`` receives the buffer-event stream of the replay
     (see :mod:`repro.obs`).
     """
-    disk = trace_disk(trace)
-    buffer = BufferManager(disk, capacity, policy, observer=observer)
-    drive_requests(buffer, trace.references)
-    return buffer.stats
+    from repro.api import BufferSystem
+
+    system = BufferSystem.build(
+        policy=policy, capacity=capacity, disk=trace_disk(trace), trace=observer
+    )
+    drive_requests(system.buffer, trace.references)
+    return system.buffer.stats
 
 
 def record_event_trace(

@@ -22,12 +22,22 @@ bg_flush    the background flusher cleaned dirty frames without
 checkpoint  a checkpoint record became durable (``lsn``)
 recover     crash recovery finished (``lsn`` = last replayed LSN,
             ``size`` = records redone)
+req_queued  the page service queued a request behind the in-flight
+            limit (``size`` = queue depth after enqueueing)
+req_admitted  the page service admitted a request (``size`` = requests
+            in flight after admission)
+req_rejected  the admission controller rejected a request with
+            RETRY_AFTER (``size`` = in-flight + queued at rejection)
+req_timeout a request timed out in the queue or mid-execution
 ==========  ==========================================================
 
 The durability events (``wal_*``, ``bg_flush``, ``checkpoint``,
 ``recover``) are emitted by :mod:`repro.wal`; their ``clock`` field
 carries the log's LSN scale rather than a buffer's logical clock, since
-one write-ahead log may serve several buffer shards.
+one write-ahead log may serve several buffer shards.  The service events
+(``req_*``) are emitted by :mod:`repro.server`; their ``clock`` is the
+server's admission sequence number and their ``query`` field carries the
+client connection id.
 
 Emission order within one request is fixed: ``fetch`` first, then either
 ``hit`` (followed by any policy events such as ``adapt``/``promote``) or
@@ -58,6 +68,10 @@ EVENT_KINDS = (
     "bg_flush",
     "checkpoint",
     "recover",
+    "req_queued",
+    "req_admitted",
+    "req_rejected",
+    "req_timeout",
 )
 
 

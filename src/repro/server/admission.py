@@ -1,0 +1,256 @@
+"""Admission control: bounded in-flight work, bounded queue, quotas.
+
+A production page service must not queue unboundedly — under overload the
+queue *is* the outage.  The :class:`AdmissionController` keeps two hard
+limits and one fairness knob:
+
+* ``max_inflight`` — requests executing against the buffer at once;
+* ``max_queued`` — requests allowed to *wait* for an execution slot; a
+  request arriving past this bound is **rejected immediately** with
+  :class:`AdmissionRejected` (the server answers ``RETRY_AFTER``), so
+  latency stays bounded and memory cannot grow with offered load;
+* ``per_client_limit`` — one client's admitted-plus-queued requests; a
+  greedy pipeliner is bounced before it can starve the other clients.
+
+``queue_timeout`` bounds the wait: a request that cannot start in time
+fails with :class:`AdmissionTimeout` instead of going stale in the queue.
+
+The controller is a pure asyncio object — single event loop, no locks —
+and emits ``req_queued`` / ``req_admitted`` / ``req_rejected`` /
+``req_timeout`` buffer events (see :mod:`repro.obs.events`) so service
+pressure lands in the same observability stream as the buffer decisions
+it causes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.server.protocol import RetryReason
+
+if TYPE_CHECKING:
+    from repro.obs.events import EventSink
+
+
+class AdmissionRejected(Exception):
+    """The request was refused outright; retry after ``hint_ms``."""
+
+    def __init__(self, reason: RetryReason, hint_ms: int, message: str) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.hint_ms = hint_ms
+
+
+class AdmissionTimeout(Exception):
+    """The request could not start executing within the queue timeout."""
+
+
+class _Waiter:
+    __slots__ = ("future", "client_id")
+
+    def __init__(self, future: "asyncio.Future[None]", client_id: int) -> None:
+        self.future = future
+        self.client_id = client_id
+
+
+class AdmissionController:
+    """Bounded admission with per-client quotas and queue timeouts."""
+
+    def __init__(
+        self,
+        max_inflight: int = 16,
+        max_queued: int = 64,
+        per_client_limit: int | None = None,
+        queue_timeout: float | None = None,
+        retry_hint_ms: int = 50,
+        observer: "EventSink | None" = None,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        if max_queued < 0:
+            raise ValueError("max_queued must be non-negative")
+        if per_client_limit is not None and per_client_limit < 1:
+            raise ValueError("per_client_limit must be at least 1")
+        self.max_inflight = max_inflight
+        self.max_queued = max_queued
+        self.per_client_limit = per_client_limit
+        self.queue_timeout = queue_timeout
+        self.retry_hint_ms = retry_hint_ms
+        self.observer = observer
+        self._inflight = 0
+        self._queue: deque[_Waiter] = deque()
+        self._per_client: dict[int, int] = {}
+        #: Monotone admission sequence — the ``clock`` of ``req_*`` events.
+        self._seq = 0
+        # Counters for STATS / tests.
+        self.admitted = 0
+        self.queued_total = 0
+        self.rejected_queue_full = 0
+        self.rejected_quota = 0
+        self.timeouts = 0
+        self.peak_inflight = 0
+        self.peak_queued = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def snapshot(self) -> dict:
+        """Counters for the STATS response."""
+        return {
+            "max_inflight": self.max_inflight,
+            "max_queued": self.max_queued,
+            "per_client_limit": self.per_client_limit,
+            "inflight": self._inflight,
+            "queued": len(self._queue),
+            "admitted": self.admitted,
+            "queued_total": self.queued_total,
+            "rejected_queue_full": self.rejected_queue_full,
+            "rejected_quota": self.rejected_quota,
+            "timeouts": self.timeouts,
+            "peak_inflight": self.peak_inflight,
+            "peak_queued": self.peak_queued,
+        }
+
+    def _emit(self, kind: str, client_id: int, depth: int) -> None:
+        observer = self.observer
+        if observer is not None:
+            self._seq += 1
+            observer.emit(
+                BufferEvent(kind=kind, clock=self._seq, query=client_id, size=depth)
+            )
+
+    # ------------------------------------------------------------------
+    # The admission decision
+    # ------------------------------------------------------------------
+
+    async def acquire(self, client_id: int) -> None:
+        """Admit one request, waiting in the bounded queue if needed.
+
+        Raises :class:`AdmissionRejected` when the queue or the client's
+        quota is full (nothing was queued — the caller answers
+        RETRY_AFTER immediately) and :class:`AdmissionTimeout` when the
+        wait exceeded ``queue_timeout``.  On success, the caller *must*
+        eventually call :meth:`release` exactly once.
+        """
+        quota = self.per_client_limit
+        held = self._per_client.get(client_id, 0)
+        if quota is not None and held >= quota:
+            self.rejected_quota += 1
+            self._emit("req_rejected", client_id, self._inflight + len(self._queue))
+            raise AdmissionRejected(
+                RetryReason.CLIENT_QUOTA,
+                self.retry_hint_ms,
+                f"client {client_id} already has {held} request(s) in service",
+            )
+        if self._inflight < self.max_inflight:
+            self._admit(client_id)
+            return
+        if len(self._queue) >= self.max_queued:
+            self.rejected_queue_full += 1
+            self._emit("req_rejected", client_id, self._inflight + len(self._queue))
+            raise AdmissionRejected(
+                RetryReason.QUEUE_FULL,
+                self.retry_hint_ms,
+                f"admission queue is full ({self.max_queued} waiting)",
+            )
+        # Queue behind the in-flight limit.  The client's quota slot is
+        # held while queued, so a pipelining client cannot fill the queue
+        # past its own limit either.
+        loop = asyncio.get_running_loop()
+        waiter = _Waiter(loop.create_future(), client_id)
+        self._queue.append(waiter)
+        self._per_client[client_id] = held + 1
+        self.queued_total += 1
+        self.peak_queued = max(self.peak_queued, len(self._queue))
+        self._emit("req_queued", client_id, len(self._queue))
+        try:
+            if self.queue_timeout is None:
+                await waiter.future
+            else:
+                await asyncio.wait_for(waiter.future, self.queue_timeout)
+        except (asyncio.TimeoutError, asyncio.CancelledError) as exc:
+            granted = (
+                waiter.future.done()
+                and not waiter.future.cancelled()
+                and waiter.future.exception() is None
+            )
+            if granted:
+                # The slot was granted in the same tick the timeout fired;
+                # treat it as admitted so release() accounting stays exact.
+                return
+            try:
+                self._queue.remove(waiter)
+            except ValueError:
+                pass
+            self._drop_client_slot(client_id)
+            if isinstance(exc, asyncio.CancelledError):
+                raise
+            self.timeouts += 1
+            self._emit("req_timeout", client_id, len(self._queue))
+            raise AdmissionTimeout(
+                f"request waited longer than {self.queue_timeout}s for a slot"
+            ) from None
+
+    def _admit(self, client_id: int) -> None:
+        self._inflight += 1
+        self._per_client[client_id] = self._per_client.get(client_id, 0) + 1
+        self.admitted += 1
+        self.peak_inflight = max(self.peak_inflight, self._inflight)
+        self._emit("req_admitted", client_id, self._inflight)
+
+    def _grant(self, waiter: _Waiter) -> None:
+        """Promote a queued waiter to in-flight (its quota slot carries over)."""
+        self._inflight += 1
+        self.admitted += 1
+        self.peak_inflight = max(self.peak_inflight, self._inflight)
+        self._emit("req_admitted", waiter.client_id, self._inflight)
+        waiter.future.set_result(None)
+
+    def _drop_client_slot(self, client_id: int) -> None:
+        held = self._per_client.get(client_id, 0) - 1
+        if held > 0:
+            self._per_client[client_id] = held
+        else:
+            self._per_client.pop(client_id, None)
+
+    def release(self, client_id: int) -> None:
+        """One admitted request finished; hand its slot to the next waiter."""
+        self._inflight -= 1
+        self._drop_client_slot(client_id)
+        while self._queue and self._inflight < self.max_inflight:
+            waiter = self._queue.popleft()
+            if waiter.future.done():
+                continue  # timed out or cancelled while queued
+            self._grant(waiter)
+
+    def reject_all_queued(self, reason: RetryReason = RetryReason.SHUTTING_DOWN) -> int:
+        """Fail every queued waiter (drain path); returns how many."""
+        failed = 0
+        while self._queue:
+            waiter = self._queue.popleft()
+            if waiter.future.done():
+                continue
+            self._drop_client_slot(waiter.client_id)
+            waiter.future.set_exception(
+                AdmissionRejected(
+                    reason, self.retry_hint_ms, "server is shutting down"
+                )
+            )
+            failed += 1
+        return failed
+
+
+# Imported last: repro.obs imports the buffer layer at package-init time;
+# the tail import sidesteps the cycle exactly as repro.buffer.manager does.
+from repro.obs.events import BufferEvent  # noqa: E402

@@ -1,0 +1,215 @@
+"""The page-service wire protocol: length-prefixed binary frames.
+
+Every message — request or response — travels as one frame::
+
+    frame    := length:u32 | body
+    request  := op:u8     | request_id:u32 | payload
+    response := status:u8 | request_id:u32 | payload
+
+``request_id`` is chosen by the client and echoed verbatim, which is what
+makes per-connection *pipelining* work: a client may have many requests
+outstanding and match responses by id, and the server may complete them
+out of order.  All integers are little-endian; page ids are signed 64-bit.
+
+Operations and their payloads:
+
+=========  =================================  ===========================
+op         request payload                    OK payload
+=========  =================================  ===========================
+FETCH      page_id:i64                        encoded page bytes
+UPDATE     page_id:i64 | encoded page bytes   (empty)
+PIN        page_id:i64                        (empty)
+UNPIN      page_id:i64                        (empty)
+COMMIT     (empty)                            lsn:i64
+STATS      (empty)                            UTF-8 JSON object
+=========  =================================  ===========================
+
+Non-OK statuses:
+
+* ``ERROR`` — payload ``code:u8 | utf-8 message``.  The request failed;
+  the connection stays usable (codes: :class:`ErrorCode`).
+* ``RETRY_AFTER`` — payload ``reason:u8 | hint_ms:u32 | utf-8 message``.
+  The *backpressure* response: the server refused to queue the request
+  (admission limits, quota, pinned-full buffer, shutdown) and the client
+  should retry after roughly ``hint_ms`` milliseconds.
+
+Frames above :data:`MAX_FRAME` bytes, truncated frames, and bodies
+shorter than a header are *protocol* errors — the stream can no longer
+be trusted and the connection is closed.  An unknown opcode in a
+well-formed frame is merely a request error (``ERROR/UNKNOWN_OP``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from enum import IntEnum
+
+#: Upper bound on one frame's body, malformed-stream guard (16 MiB).
+MAX_FRAME = 16 * 1024 * 1024
+
+_LENGTH = struct.Struct("<I")
+_HEAD = struct.Struct("<BI")  # op/status, request_id
+_PAGE_ID = struct.Struct("<q")
+_LSN = struct.Struct("<q")
+_ERROR = struct.Struct("<B")
+_RETRY = struct.Struct("<BI")  # reason, hint_ms
+
+
+class Op(IntEnum):
+    """Request opcodes."""
+
+    FETCH = 1
+    UPDATE = 2
+    PIN = 3
+    UNPIN = 4
+    COMMIT = 5
+    STATS = 6
+
+
+class Status(IntEnum):
+    """Response statuses."""
+
+    OK = 0
+    ERROR = 1
+    RETRY_AFTER = 2
+
+
+class ErrorCode(IntEnum):
+    """Why a request failed (``Status.ERROR`` payload)."""
+
+    MALFORMED = 1
+    UNKNOWN_OP = 2
+    NOT_FOUND = 3
+    TIMEOUT = 4
+    NOT_PINNED = 5
+    INTERNAL = 6
+
+
+class RetryReason(IntEnum):
+    """Why a request was refused (``Status.RETRY_AFTER`` payload)."""
+
+    QUEUE_FULL = 1
+    CLIENT_QUOTA = 2
+    BUFFER_FULL = 3
+    SHUTTING_DOWN = 4
+
+
+class ProtocolError(Exception):
+    """The byte stream violated the framing contract; close the connection."""
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+
+
+def encode_frame(body: bytes) -> bytes:
+    """Wrap a message body in its length prefix."""
+    if len(body) > MAX_FRAME:
+        raise ProtocolError(f"frame body of {len(body)} bytes exceeds MAX_FRAME")
+    return _LENGTH.pack(len(body)) + body
+
+
+def encode_request(op: int, request_id: int, payload: bytes = b"") -> bytes:
+    return encode_frame(_HEAD.pack(op, request_id) + payload)
+
+
+def encode_response(status: int, request_id: int, payload: bytes = b"") -> bytes:
+    return encode_frame(_HEAD.pack(status, request_id) + payload)
+
+
+def encode_error(request_id: int, code: int, message: str) -> bytes:
+    payload = _ERROR.pack(code) + message.encode("utf-8")
+    return encode_response(Status.ERROR, request_id, payload)
+
+
+def encode_retry_after(
+    request_id: int, reason: int, hint_ms: int, message: str = ""
+) -> bytes:
+    payload = _RETRY.pack(reason, max(0, hint_ms)) + message.encode("utf-8")
+    return encode_response(Status.RETRY_AFTER, request_id, payload)
+
+
+def pack_page_id(page_id: int) -> bytes:
+    return _PAGE_ID.pack(page_id)
+
+
+def pack_lsn(lsn: int) -> bytes:
+    return _LSN.pack(lsn)
+
+
+# ----------------------------------------------------------------------
+# Decoding
+# ----------------------------------------------------------------------
+
+
+def decode_head(body: bytes) -> tuple[int, int, bytes]:
+    """Split a message body into (op-or-status, request id, payload)."""
+    if len(body) < _HEAD.size:
+        raise ProtocolError(f"message body of {len(body)} bytes is truncated")
+    first, request_id = _HEAD.unpack_from(body, 0)
+    return first, request_id, body[_HEAD.size :]
+
+
+def unpack_page_id(payload: bytes) -> int:
+    if len(payload) < _PAGE_ID.size:
+        raise ValueError("payload is missing the page id")
+    (page_id,) = _PAGE_ID.unpack_from(payload, 0)
+    return page_id
+
+
+def unpack_page_payload(payload: bytes) -> tuple[int, bytes]:
+    """Split an UPDATE payload into (page id, encoded page bytes)."""
+    page_id = unpack_page_id(payload)
+    return page_id, payload[_PAGE_ID.size :]
+
+
+def unpack_lsn(payload: bytes) -> int:
+    if len(payload) < _LSN.size:
+        raise ValueError("payload is missing the LSN")
+    (lsn,) = _LSN.unpack_from(payload, 0)
+    return lsn
+
+
+def unpack_error(payload: bytes) -> tuple[int, str]:
+    if len(payload) < _ERROR.size:
+        raise ValueError("error payload is missing the code")
+    (code,) = _ERROR.unpack_from(payload, 0)
+    return code, payload[_ERROR.size :].decode("utf-8", "replace")
+
+
+def unpack_retry_after(payload: bytes) -> tuple[int, int, str]:
+    if len(payload) < _RETRY.size:
+        raise ValueError("retry payload is missing reason/hint")
+    reason, hint_ms = _RETRY.unpack_from(payload, 0)
+    return reason, hint_ms, payload[_RETRY.size :].decode("utf-8", "replace")
+
+
+# ----------------------------------------------------------------------
+# Stream I/O
+# ----------------------------------------------------------------------
+
+
+async def read_frame(reader: asyncio.StreamReader) -> bytes | None:
+    """Read one frame body; ``None`` on clean EOF between frames.
+
+    EOF *inside* a frame (mid-length or mid-body) and oversized lengths
+    raise :class:`ProtocolError` — the peer vanished mid-message or is
+    not speaking this protocol.
+    """
+    try:
+        prefix = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-length-prefix") from exc
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME:
+        raise ProtocolError(
+            f"declared frame length {length} exceeds MAX_FRAME ({MAX_FRAME})"
+        )
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc

@@ -37,7 +37,7 @@ N_REQUESTS = 500
 GOLDEN_POLICIES = {
     "lru": LRU,
     "lru_2": lambda: LRUK(k=2),
-    "slru": lambda: SLRU(fraction=0.25),
+    "slru": lambda: SLRU(candidate_fraction=0.25),
     "spatial_a": lambda: SpatialPolicy("A"),
     "spatial_ea": lambda: SpatialPolicy("EA"),
     "spatial_m": lambda: SpatialPolicy("M"),

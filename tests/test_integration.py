@@ -44,7 +44,7 @@ ALL_POLICY_FACTORIES = {
     "M": lambda: SpatialPolicy("M"),
     "EM": lambda: SpatialPolicy("EM"),
     "EO": lambda: SpatialPolicy("EO"),
-    "SLRU": lambda: SLRU(fraction=0.25),
+    "SLRU": lambda: SLRU(candidate_fraction=0.25),
     "ASB": ASB,
     "2Q": TwoQ,
     "ARC": ARC,

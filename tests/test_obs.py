@@ -69,6 +69,7 @@ class TestEventModel:
         assert EVENT_KINDS == (
             "fetch", "hit", "miss", "evict", "writeback", "promote", "adapt",
             "wal_append", "wal_fsync", "bg_flush", "checkpoint", "recover",
+            "req_queued", "req_admitted", "req_rejected", "req_timeout",
         )
 
     def test_to_dict_drops_none_fields(self):

@@ -32,7 +32,7 @@ class TestConstruction:
         with pytest.raises(ValueError):
             ASB(overflow_fraction=-0.1)
         with pytest.raises(ValueError):
-            ASB(initial_fraction=0.0)
+            ASB(candidate_fraction=0.0)
         with pytest.raises(ValueError):
             ASB(step_fraction=0.0)
 
@@ -43,7 +43,7 @@ class TestConstruction:
         assert policy.main_capacity == 8
 
     def test_default_initial_candidate_is_quarter_of_main(self):
-        policy = ASB(overflow_fraction=0.2, initial_fraction=0.25)
+        policy = ASB(overflow_fraction=0.2, candidate_fraction=0.25)
         BufferManager(square_disk([1.0] * 30), 20, policy)
         assert policy.main_capacity == 16
         assert policy.candidate_size == 4
@@ -58,7 +58,7 @@ class TestTwoPartMechanics:
     def test_demotion_fills_overflow(self):
         # capacity 4, overflow 2, main 2 — and candidate set of 1 (pure LRU
         # demotion) to make the demotion order predictable.
-        policy = ASB(overflow_fraction=0.5, initial_fraction=0.01)
+        policy = ASB(overflow_fraction=0.5, candidate_fraction=0.01)
         buffer = BufferManager(square_disk([100.0, 1.0, 50.0, 2.0]), 4, policy)
         buffer.fetch(0)
         buffer.fetch(1)
@@ -71,7 +71,7 @@ class TestTwoPartMechanics:
         assert policy.overflow_ids() == [0, 1]
 
     def test_true_eviction_is_overflow_fifo_head(self):
-        policy = ASB(overflow_fraction=0.5, initial_fraction=0.01)
+        policy = ASB(overflow_fraction=0.5, candidate_fraction=0.01)
         buffer = BufferManager(
             square_disk([100.0, 1.0, 50.0, 2.0, 7.0, 3.0]), 4, policy
         )
@@ -87,7 +87,7 @@ class TestTwoPartMechanics:
     def test_overflow_hit_counts_as_buffer_hit(self):
         """The overflow buffer is buffer memory: finding a page there must
         not cost a disk access."""
-        policy = ASB(overflow_fraction=0.5, initial_fraction=0.01)
+        policy = ASB(overflow_fraction=0.5, candidate_fraction=0.01)
         disk = square_disk([100.0, 1.0, 50.0, 2.0])
         buffer = BufferManager(disk, 4, policy)
         for page_id in range(4):
@@ -98,7 +98,7 @@ class TestTwoPartMechanics:
         assert buffer.stats.hits == 1
 
     def test_promotion_moves_page_to_main(self):
-        policy = ASB(overflow_fraction=0.5, initial_fraction=0.01)
+        policy = ASB(overflow_fraction=0.5, candidate_fraction=0.01)
         buffer = BufferManager(square_disk([100.0, 1.0, 50.0, 2.0]), 4, policy)
         for page_id in range(4):
             buffer.fetch(page_id)
@@ -131,7 +131,7 @@ class TestAdaptation:
         """
         policy = ASB(
             overflow_fraction=0.5,
-            initial_fraction=0.67,
+            candidate_fraction=0.67,
             step_fraction=0.34,
         )
         disk = square_disk([50.0, 100.0, 1.0, 60.0, 70.0])
@@ -161,7 +161,7 @@ class TestAdaptation:
     def test_tie_keeps_candidate_set(self):
         # Make the other overflow page better on BOTH criteria: counts tie.
         policy = ASB(
-            overflow_fraction=0.5, initial_fraction=0.5, step_fraction=0.5
+            overflow_fraction=0.5, candidate_fraction=0.5, step_fraction=0.5
         )
         disk = square_disk([1.0, 100.0, 50.0, 2.0])
         buffer = BufferManager(disk, 4, policy)
@@ -192,7 +192,7 @@ class TestAdaptation:
     def test_trace_records_adaptations(self):
         policy = ASB(
             overflow_fraction=0.5,
-            initial_fraction=1.0,
+            candidate_fraction=1.0,
             step_fraction=0.5,
             record_trace=True,
         )
@@ -216,8 +216,8 @@ class TestDegenerationAndReset:
                 buffer.fetch(page_id)
             return buffer.resident_ids(), buffer.stats.misses
 
-        asb = ASB(overflow_fraction=0.0, initial_fraction=0.25)
-        slru = SLRU(fraction=0.25)
+        asb = ASB(overflow_fraction=0.0, candidate_fraction=0.25)
+        slru = SLRU(candidate_fraction=0.25)
         assert run(asb) == run(slru)
 
     def test_no_state_for_evicted_pages(self):
@@ -231,7 +231,7 @@ class TestDegenerationAndReset:
 
     def test_reset_restores_initial_knob(self):
         policy = ASB(
-            overflow_fraction=0.5, initial_fraction=0.67, step_fraction=0.34
+            overflow_fraction=0.5, candidate_fraction=0.67, step_fraction=0.34
         )
         buffer = BufferManager(
             square_disk([50.0, 100.0, 1.0, 60.0, 70.0]), 6, policy
@@ -271,7 +271,7 @@ class TestInstallDiscardIntegration:
         assert policy.main_size + policy.overflow_size == len(buffer)
 
     def test_discard_cleans_policy_state(self):
-        policy = ASB(overflow_fraction=0.5, initial_fraction=0.01)
+        policy = ASB(overflow_fraction=0.5, candidate_fraction=0.01)
         disk = square_disk([100.0, 1.0, 50.0, 2.0])
         buffer = BufferManager(disk, 4, policy)
         for page_id in range(4):

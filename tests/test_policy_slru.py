@@ -27,20 +27,20 @@ def square_disk(sizes):
 class TestConstruction:
     def test_fraction_bounds(self):
         with pytest.raises(ValueError):
-            SLRU(fraction=0.0)
+            SLRU(candidate_fraction=0.0)
         with pytest.raises(ValueError):
-            SLRU(fraction=1.5)
+            SLRU(candidate_fraction=1.5)
 
     def test_unknown_criterion_raises(self):
         with pytest.raises(ValueError):
             SLRU(criterion="Q")
 
     def test_name_shows_fraction(self):
-        assert SLRU(fraction=0.25).name == "SLRU 25%"
-        assert SLRU(fraction=0.5).name == "SLRU 50%"
+        assert SLRU(candidate_fraction=0.25).name == "SLRU 25%"
+        assert SLRU(candidate_fraction=0.5).name == "SLRU 50%"
 
     def test_candidate_count_scales_with_capacity(self):
-        policy = SLRU(fraction=0.25)
+        policy = SLRU(candidate_fraction=0.25)
         BufferManager(square_disk([1.0] * 20), 8, policy)
         assert policy.candidate_count() == 2
 
@@ -49,7 +49,7 @@ class TestVictimRule:
     def test_victim_is_smallest_in_lru_candidate_set(self):
         # Capacity 4, fraction 0.5 -> candidate set = 2 LRU-oldest pages.
         disk = square_disk([100.0, 1.0, 50.0, 2.0, 3.0])
-        policy = SLRU(fraction=0.5)
+        policy = SLRU(candidate_fraction=0.5)
         buffer = BufferManager(disk, 4, policy)
         for page_id in range(4):
             buffer.fetch(page_id)
@@ -62,7 +62,7 @@ class TestVictimRule:
     def test_small_page_outside_candidates_is_safe(self):
         # Candidate set of 1 degenerates to plain LRU.
         disk = square_disk([100.0, 1.0, 50.0, 2.0, 3.0])
-        policy = SLRU(fraction=0.25)
+        policy = SLRU(candidate_fraction=0.25)
         buffer = BufferManager(disk, 4, policy)
         for page_id in range(4):
             buffer.fetch(page_id)
@@ -80,7 +80,7 @@ class TestVictimRule:
                 buffer.fetch(page_id)
             return buffer.resident_ids(), buffer.stats.misses
 
-        assert run(SLRU(fraction=1.0)) == run(SpatialPolicy("A"))
+        assert run(SLRU(candidate_fraction=1.0)) == run(SpatialPolicy("A"))
 
     def test_tiny_candidate_set_equals_lru(self):
         sizes = [9.0, 4.0, 25.0, 1.0, 16.0, 36.0]
@@ -93,7 +93,7 @@ class TestVictimRule:
             return buffer.resident_ids(), buffer.stats.misses
 
         # fraction small enough that ceil(f * capacity) == 1
-        assert run(SLRU(fraction=0.01)) == run(LRU())
+        assert run(SLRU(candidate_fraction=0.01)) == run(LRU())
 
 
 class TestSelectFromCandidates:

@@ -101,7 +101,7 @@ class TestUniversalInvariants:
         ("FIFO", FIFO),
         ("LRU-2", lambda: LRUK(k=2)),
         ("A", lambda: SpatialPolicy("A")),
-        ("SLRU", lambda: SLRU(fraction=0.5)),
+        ("SLRU", lambda: SLRU(candidate_fraction=0.5)),
         ("ASB", lambda: ASB(overflow_fraction=0.25)),
         ("2Q", TwoQ),
         ("ARC", ARC),

@@ -1,0 +1,214 @@
+"""Tests for the admission controller: bounds, quotas, timeouts, events."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.obs.events import TraceRecorder
+from repro.server.admission import (
+    AdmissionController,
+    AdmissionRejected,
+    AdmissionTimeout,
+)
+from repro.server.protocol import RetryReason
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestInflightBound:
+    def test_admits_up_to_the_limit(self):
+        async def scenario():
+            controller = AdmissionController(max_inflight=3, max_queued=0)
+            for client in range(3):
+                await controller.acquire(client)
+            assert controller.inflight == 3
+            with pytest.raises(AdmissionRejected) as excinfo:
+                await controller.acquire(9)
+            assert excinfo.value.reason == RetryReason.QUEUE_FULL
+            assert controller.rejected_queue_full == 1
+
+        run(scenario())
+
+    def test_release_grants_the_next_waiter_fifo(self):
+        async def scenario():
+            controller = AdmissionController(max_inflight=1, max_queued=4)
+            await controller.acquire(1)
+            order: list[int] = []
+
+            async def waiter(client_id: int) -> None:
+                await controller.acquire(client_id)
+                order.append(client_id)
+
+            tasks = [asyncio.ensure_future(waiter(i)) for i in (2, 3, 4)]
+            await asyncio.sleep(0)
+            assert controller.queue_depth == 3
+            controller.release(1)
+            await asyncio.sleep(0)
+            controller.release(2)
+            await asyncio.sleep(0)
+            controller.release(3)
+            await asyncio.gather(*tasks)
+            assert order == [2, 3, 4]
+            assert controller.peak_queued == 3
+
+        run(scenario())
+
+    def test_queue_overflow_rejects_not_queues(self):
+        async def scenario():
+            controller = AdmissionController(max_inflight=1, max_queued=1)
+            await controller.acquire(1)
+            task = asyncio.ensure_future(controller.acquire(2))
+            await asyncio.sleep(0)
+            with pytest.raises(AdmissionRejected) as excinfo:
+                await controller.acquire(3)
+            assert excinfo.value.reason == RetryReason.QUEUE_FULL
+            assert excinfo.value.hint_ms > 0
+            controller.release(1)
+            await task
+            controller.release(2)
+
+        run(scenario())
+
+
+class TestClientQuota:
+    def test_quota_bounces_the_greedy_client_only(self):
+        async def scenario():
+            controller = AdmissionController(
+                max_inflight=8, max_queued=8, per_client_limit=2
+            )
+            await controller.acquire(1)
+            await controller.acquire(1)
+            with pytest.raises(AdmissionRejected) as excinfo:
+                await controller.acquire(1)
+            assert excinfo.value.reason == RetryReason.CLIENT_QUOTA
+            # Another client is unaffected.
+            await controller.acquire(2)
+            assert controller.rejected_quota == 1
+            # Releasing frees the quota slot.
+            controller.release(1)
+            await controller.acquire(1)
+
+        run(scenario())
+
+    def test_quota_counts_queued_requests_too(self):
+        async def scenario():
+            controller = AdmissionController(
+                max_inflight=1, max_queued=8, per_client_limit=2
+            )
+            await controller.acquire(1)
+            task = asyncio.ensure_future(controller.acquire(1))
+            await asyncio.sleep(0)
+            with pytest.raises(AdmissionRejected) as excinfo:
+                await controller.acquire(1)
+            assert excinfo.value.reason == RetryReason.CLIENT_QUOTA
+            controller.release(1)
+            await task
+
+        run(scenario())
+
+
+class TestQueueTimeout:
+    def test_stale_waiter_times_out(self):
+        async def scenario():
+            controller = AdmissionController(
+                max_inflight=1, max_queued=4, queue_timeout=0.02
+            )
+            await controller.acquire(1)
+            with pytest.raises(AdmissionTimeout):
+                await controller.acquire(2)
+            assert controller.timeouts == 1
+            assert controller.queue_depth == 0
+            # The timed-out waiter's quota slot was returned.
+            controller.release(1)
+            await controller.acquire(2)
+
+        run(scenario())
+
+    def test_timed_out_waiter_is_skipped_at_grant_time(self):
+        async def scenario():
+            controller = AdmissionController(
+                max_inflight=1, max_queued=4, queue_timeout=0.02
+            )
+            await controller.acquire(1)
+            stale = asyncio.ensure_future(controller.acquire(2))
+            live_started = asyncio.Event()
+
+            async def live() -> None:
+                # Joins the queue after the stale waiter; no timeout races
+                # because the slot frees before this waits that long.
+                await controller.acquire(3)
+                live_started.set()
+
+            await asyncio.sleep(0.05)  # let the stale waiter expire
+            with pytest.raises(AdmissionTimeout):
+                await stale
+            task = asyncio.ensure_future(live())
+            await asyncio.sleep(0)
+            controller.release(1)
+            await asyncio.wait_for(live_started.wait(), 1.0)
+            await task
+
+        run(scenario())
+
+
+class TestShutdown:
+    def test_reject_all_queued_fails_waiters_with_shutting_down(self):
+        async def scenario():
+            controller = AdmissionController(max_inflight=1, max_queued=4)
+            await controller.acquire(1)
+            tasks = [
+                asyncio.ensure_future(controller.acquire(client))
+                for client in (2, 3)
+            ]
+            await asyncio.sleep(0)
+            assert controller.reject_all_queued() == 2
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            assert all(isinstance(r, AdmissionRejected) for r in results)
+            assert all(
+                r.reason == RetryReason.SHUTTING_DOWN for r in results
+            )
+
+        run(scenario())
+
+
+class TestObservability:
+    def test_admission_events_land_in_the_sink(self):
+        async def scenario():
+            recorder = TraceRecorder()
+            controller = AdmissionController(
+                max_inflight=1, max_queued=1, observer=recorder
+            )
+            await controller.acquire(1)
+            task = asyncio.ensure_future(controller.acquire(2))
+            await asyncio.sleep(0)
+            with pytest.raises(AdmissionRejected):
+                await controller.acquire(3)
+            controller.release(1)
+            await task
+            kinds = [event.kind for event in recorder.events]
+            assert kinds == [
+                "req_admitted",
+                "req_queued",
+                "req_rejected",
+                "req_admitted",
+            ]
+            clocks = [event.clock for event in recorder.events]
+            assert clocks == sorted(clocks)
+
+        run(scenario())
+
+    def test_snapshot_reports_counters(self):
+        async def scenario():
+            controller = AdmissionController(max_inflight=2, max_queued=2)
+            await controller.acquire(1)
+            await controller.acquire(2)
+            snapshot = controller.snapshot()
+            assert snapshot["inflight"] == 2
+            assert snapshot["admitted"] == 2
+            assert snapshot["peak_inflight"] == 2
+
+        run(scenario())

@@ -1,0 +1,135 @@
+"""Tests for the page-service wire protocol (framing and payloads)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.server.protocol import (
+    MAX_FRAME,
+    ErrorCode,
+    Op,
+    ProtocolError,
+    RetryReason,
+    Status,
+    decode_head,
+    encode_error,
+    encode_frame,
+    encode_request,
+    encode_response,
+    encode_retry_after,
+    pack_lsn,
+    pack_page_id,
+    read_frame,
+    unpack_error,
+    unpack_lsn,
+    unpack_page_id,
+    unpack_page_payload,
+    unpack_retry_after,
+)
+
+
+def read_all_frames(data: bytes) -> list[bytes]:
+    """Feed bytes into a StreamReader, read frames until EOF."""
+
+    async def _run() -> list[bytes]:
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        frames = []
+        while True:
+            frame = await read_frame(reader)
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    return asyncio.run(_run())
+
+
+class TestRoundTrips:
+    def test_request_round_trip(self):
+        frame = encode_request(Op.FETCH, 42, pack_page_id(-7))
+        (body,) = read_all_frames(frame)
+        op, request_id, payload = decode_head(body)
+        assert op == Op.FETCH
+        assert request_id == 42
+        assert unpack_page_id(payload) == -7
+
+    def test_response_round_trip(self):
+        frame = encode_response(Status.OK, 9, b"payload")
+        (body,) = read_all_frames(frame)
+        status, request_id, payload = decode_head(body)
+        assert (status, request_id, payload) == (Status.OK, 9, b"payload")
+
+    def test_error_round_trip(self):
+        frame = encode_error(3, ErrorCode.NOT_FOUND, "page 12 missing")
+        (body,) = read_all_frames(frame)
+        status, request_id, payload = decode_head(body)
+        assert status == Status.ERROR
+        code, message = unpack_error(payload)
+        assert code == ErrorCode.NOT_FOUND
+        assert message == "page 12 missing"
+
+    def test_retry_after_round_trip(self):
+        frame = encode_retry_after(5, RetryReason.QUEUE_FULL, 75, "busy")
+        (body,) = read_all_frames(frame)
+        status, request_id, payload = decode_head(body)
+        assert status == Status.RETRY_AFTER
+        reason, hint_ms, message = unpack_retry_after(payload)
+        assert (reason, hint_ms, message) == (RetryReason.QUEUE_FULL, 75, "busy")
+
+    def test_update_payload_round_trip(self):
+        payload = pack_page_id(11) + b"page-bytes"
+        page_id, blob = unpack_page_payload(payload)
+        assert (page_id, blob) == (11, b"page-bytes")
+
+    def test_lsn_round_trip(self):
+        assert unpack_lsn(pack_lsn(1 << 40)) == 1 << 40
+
+    def test_pipelined_frames_stay_separate(self):
+        data = encode_request(Op.FETCH, 1, pack_page_id(1)) + encode_request(
+            Op.COMMIT, 2
+        )
+        frames = read_all_frames(data)
+        assert len(frames) == 2
+        assert decode_head(frames[0])[1] == 1
+        assert decode_head(frames[1])[1] == 2
+
+
+class TestMalformedStreams:
+    def test_clean_eof_between_frames_is_none(self):
+        assert read_all_frames(b"") == []
+
+    def test_eof_mid_length_prefix(self):
+        with pytest.raises(ProtocolError, match="mid-length"):
+            read_all_frames(b"\x05\x00")
+
+    def test_eof_mid_body(self):
+        frame = encode_request(Op.FETCH, 1, pack_page_id(1))
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            read_all_frames(frame[:-3])
+
+    def test_oversized_declared_length(self):
+        import struct
+
+        with pytest.raises(ProtocolError, match="MAX_FRAME"):
+            read_all_frames(struct.pack("<I", MAX_FRAME + 1))
+
+    def test_oversized_body_rejected_at_encode_time(self):
+        with pytest.raises(ProtocolError, match="MAX_FRAME"):
+            encode_frame(b"\x00" * (MAX_FRAME + 1))
+
+    def test_truncated_head_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError, match="truncated"):
+            decode_head(b"\x01")
+
+    def test_short_payloads_raise_value_errors(self):
+        with pytest.raises(ValueError):
+            unpack_page_id(b"\x00")
+        with pytest.raises(ValueError):
+            unpack_lsn(b"")
+        with pytest.raises(ValueError):
+            unpack_error(b"")
+        with pytest.raises(ValueError):
+            unpack_retry_after(b"\x01")

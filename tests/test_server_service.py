@@ -1,0 +1,267 @@
+"""Failure-path tests for the page service.
+
+The happy path is covered by the smoke test; these tests pin down the
+behaviours the issue tracker cares about when things go wrong: malformed
+frames, clients vanishing mid-request, execution timeouts, admission
+overflow, and the drain-on-shutdown durability guarantee.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+import time
+
+import pytest
+
+from repro.api import BufferSystem
+from repro.client import (
+    AsyncPageClient,
+    ConnectionLost,
+    PageClient,
+    RetryAfter,
+    ServerError,
+)
+from repro.experiments.servebench import _SlowDisk, make_seed_page
+from repro.server import PageServer, ServerThread
+from repro.server.protocol import (
+    ErrorCode,
+    Op,
+    RetryReason,
+    encode_request,
+    pack_page_id,
+)
+from repro.wal.bytestore import MemoryByteStore
+from repro.wal.log import WriteAheadLog
+from repro.wal.recovery import replay_durable_prefix
+
+PAGE_SIZE = 512
+
+
+def durable_system(pages: int = 32, capacity: int = 8) -> BufferSystem:
+    system = BufferSystem.build(
+        policy="LRU", capacity=capacity, durability=True, page_size=PAGE_SIZE
+    )
+    for page_id in range(pages):
+        system.disk.store(make_seed_page(page_id, page_id, PAGE_SIZE))
+    return system
+
+
+class TestMalformedFrames:
+    def test_oversized_length_prefix_closes_the_connection(self):
+        system = durable_system()
+        with ServerThread(system, page_size=PAGE_SIZE) as server:
+            with socket.create_connection((server.host, server.port)) as raw:
+                raw.sendall(struct.pack("<I", 1 << 31))
+                raw.settimeout(5.0)
+                assert raw.recv(1) == b""  # server hung up
+            # The server survives and serves the next client.
+            with PageClient(server.host, server.port, page_size=PAGE_SIZE) as ok:
+                assert ok.fetch(1).page_id == 1
+            assert server.server.protocol_errors >= 1
+
+    def test_truncated_frame_closes_the_connection(self):
+        system = durable_system()
+        with ServerThread(system, page_size=PAGE_SIZE) as server:
+            with socket.create_connection((server.host, server.port)) as raw:
+                frame = encode_request(Op.FETCH, 1, pack_page_id(1))
+                raw.sendall(frame[:-3])  # vanish mid-frame
+            time.sleep(0.1)
+            with PageClient(server.host, server.port, page_size=PAGE_SIZE) as ok:
+                assert ok.fetch(2).page_id == 2
+            assert server.server.protocol_errors >= 1
+
+    def test_garbage_payload_is_an_error_not_a_hangup(self):
+        system = durable_system()
+        with ServerThread(system, page_size=PAGE_SIZE) as server:
+            async def scenario() -> None:
+                client = await AsyncPageClient.connect(
+                    server.host, server.port, page_size=PAGE_SIZE
+                )
+                try:
+                    # FETCH with a short payload: request-level error, the
+                    # connection stays usable for the next request.
+                    with pytest.raises(ServerError):
+                        await client._request(Op.FETCH, b"\x01")
+                    page = await client.fetch(3)
+                    assert page.page_id == 3
+                finally:
+                    await client.close()
+
+            asyncio.run(scenario())
+
+    def test_unknown_opcode_is_an_error_not_a_hangup(self):
+        system = durable_system()
+        with ServerThread(system, page_size=PAGE_SIZE) as server:
+            async def scenario() -> None:
+                client = await AsyncPageClient.connect(
+                    server.host, server.port, page_size=PAGE_SIZE
+                )
+                try:
+                    with pytest.raises(ServerError) as excinfo:
+                        await client._request(99, b"")
+                    assert excinfo.value.code == ErrorCode.UNKNOWN_OP
+                    assert (await client.fetch(4)).page_id == 4
+                finally:
+                    await client.close()
+
+            asyncio.run(scenario())
+
+
+class TestClientDisconnect:
+    def test_disconnect_mid_request_does_not_kill_the_server(self):
+        system = durable_system()
+        # Slow reads keep the dropped client's request in flight while the
+        # connection dies underneath it.
+        system.buffer.disk = _SlowDisk(system.disk, 0.05)
+        with ServerThread(system, page_size=PAGE_SIZE) as server:
+            with socket.create_connection((server.host, server.port)) as raw:
+                raw.sendall(encode_request(Op.FETCH, 1, pack_page_id(20)))
+                # Hard close with the response still pending.
+            time.sleep(0.3)
+            with PageClient(server.host, server.port, page_size=PAGE_SIZE) as ok:
+                assert ok.fetch(21).page_id == 21
+            # The in-flight slot was released despite the lost client.
+            assert server.server.admission.inflight == 0
+
+    def test_pending_client_requests_fail_with_connection_lost(self):
+        system = durable_system()
+        system.buffer.disk = _SlowDisk(system.disk, 0.2)
+
+        async def scenario(host: str, port: int) -> None:
+            client = await AsyncPageClient.connect(host, port, page_size=PAGE_SIZE)
+            fetch = asyncio.ensure_future(client.fetch(22))
+            await asyncio.sleep(0.05)
+            await client.close()
+            with pytest.raises(ConnectionLost):
+                await fetch
+
+        with ServerThread(system, page_size=PAGE_SIZE) as server:
+            asyncio.run(scenario(server.host, server.port))
+
+
+class TestRequestTimeout:
+    def test_slow_request_fails_with_timeout(self):
+        system = durable_system()
+        system.buffer.disk = _SlowDisk(system.disk, 0.5)
+        with ServerThread(
+            system, request_timeout=0.05, page_size=PAGE_SIZE
+        ) as server:
+            with PageClient(server.host, server.port, page_size=PAGE_SIZE) as client:
+                with pytest.raises(ServerError) as excinfo:
+                    client.fetch(23)
+                assert excinfo.value.code == ErrorCode.TIMEOUT
+            # The stuck worker eventually finishes and returns its slot.
+            deadline = time.time() + 5.0
+            while server.server.admission.inflight and time.time() < deadline:
+                time.sleep(0.02)
+            assert server.server.admission.inflight == 0
+
+
+class TestAdmissionOverflow:
+    def test_overflow_answers_retry_after_queue_full(self):
+        system = durable_system()
+        system.buffer.disk = _SlowDisk(system.disk, 0.05)
+
+        async def scenario(host: str, port: int) -> None:
+            client = await AsyncPageClient.connect(host, port, page_size=PAGE_SIZE)
+            try:
+                results = await asyncio.gather(
+                    *(client.fetch(page_id) for page_id in range(12)),
+                    return_exceptions=True,
+                )
+            finally:
+                await client.close()
+            rejected = [r for r in results if isinstance(r, RetryAfter)]
+            completed = [r for r in results if not isinstance(r, Exception)]
+            assert rejected, "overload must answer RETRY_AFTER"
+            assert all(
+                r.reason == RetryReason.QUEUE_FULL and r.hint_ms > 0
+                for r in rejected
+            )
+            assert completed, "the admitted requests still complete"
+
+        with ServerThread(
+            system, max_inflight=1, max_queued=1, page_size=PAGE_SIZE
+        ) as server:
+            asyncio.run(scenario(server.host, server.port))
+            assert server.server.admission.rejected_queue_full > 0
+
+    def test_per_client_quota_answers_retry_after(self):
+        system = durable_system()
+        system.buffer.disk = _SlowDisk(system.disk, 0.05)
+
+        async def scenario(host: str, port: int) -> None:
+            client = await AsyncPageClient.connect(host, port, page_size=PAGE_SIZE)
+            try:
+                results = await asyncio.gather(
+                    *(client.fetch(page_id) for page_id in range(8)),
+                    return_exceptions=True,
+                )
+            finally:
+                await client.close()
+            quota_hits = [
+                r
+                for r in results
+                if isinstance(r, RetryAfter)
+                and r.reason == RetryReason.CLIENT_QUOTA
+            ]
+            assert quota_hits
+
+        with ServerThread(
+            system,
+            max_inflight=8,
+            max_queued=8,
+            per_client_limit=2,
+            page_size=PAGE_SIZE,
+        ) as server:
+            asyncio.run(scenario(server.host, server.port))
+
+
+class TestDrainOnShutdown:
+    def test_drain_leaves_durable_medium_equal_to_committed_prefix(self):
+        system = durable_system(pages=16, capacity=4)
+        base_image = system.disk.image()
+        server_thread = ServerThread(system, page_size=PAGE_SIZE)
+        server_thread.start()
+        try:
+            with PageClient(
+                server_thread.host, server_thread.port, page_size=PAGE_SIZE
+            ) as client:
+                for page_id in range(8):
+                    client.update(
+                        make_seed_page(page_id, 1000 + page_id, PAGE_SIZE)
+                    )
+                    if page_id % 3 == 2:
+                        assert client.commit() > 0
+        finally:
+            server_thread.stop()  # graceful drain: checkpoint + log sync
+        wal = WriteAheadLog(
+            store=MemoryByteStore(system.durability.wal.store.image())
+        )
+        assert system.disk.image() == replay_durable_prefix(
+            wal, base_image, page_size=PAGE_SIZE
+        )
+
+    def test_drain_rejects_new_requests_while_shutting_down(self):
+        system = durable_system()
+
+        async def scenario() -> None:
+            server = PageServer(system, page_size=PAGE_SIZE)
+            await server.start()
+            client = await AsyncPageClient.connect(
+                server.host, server.port, page_size=PAGE_SIZE
+            )
+            try:
+                assert (await client.fetch(1)).page_id == 1
+                server._draining = True
+                with pytest.raises(RetryAfter) as excinfo:
+                    await client.fetch(2)
+                assert excinfo.value.reason == RetryReason.SHUTTING_DOWN
+            finally:
+                await client.close()
+                server._draining = False
+                await server.stop()
+
+        asyncio.run(scenario())
