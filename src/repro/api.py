@@ -74,6 +74,7 @@ class BufferSystem:
     observer: "EventSink | None" = None
     recorder: "TraceRecorder | None" = None
     durability: "DurabilityManager | None" = None
+    tuner: object | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -91,6 +92,7 @@ class BufferSystem:
         trace: "bool | EventSink | None" = None,
         policy_kwargs: Mapping | None = None,
         page_size: int = 4096,
+        tuning: object | None = None,
     ) -> "BufferSystem":
         """Wire a complete buffer system in one call.
 
@@ -118,6 +120,15 @@ class BufferSystem:
             ``True`` attaches a fresh
             :class:`~repro.obs.events.TraceRecorder` (exposed as
             ``system.recorder``); any event sink is attached as-is.
+        ``tuning``
+            ``None`` (default) keeps the buffer static — bit-identical
+            to every pre-tuning build.  ``True`` attaches a
+            :class:`~repro.tuning.TuningController` with default
+            settings; a :class:`~repro.tuning.TuningConfig` attaches one
+            with those settings.  The controller shadows the live
+            reference stream with ghost caches and may retune the live
+            policy or hand the buffer to a better one (exposed as
+            ``system.tuner``).
         """
         from repro.obs.events import TraceRecorder
 
@@ -193,6 +204,27 @@ class BufferSystem:
                 observer=observer,
                 durability=durability_manager,
             )
+        # --- self-tuning -----------------------------------------------
+        tuner = None
+        if tuning is not None and tuning is not False:
+            from repro.tuning import TuningConfig, TuningController
+
+            if tuning is True:
+                config = None
+            elif isinstance(tuning, TuningConfig):
+                config = tuning
+            else:
+                raise TypeError(
+                    "tuning must be None/True or a TuningConfig; got "
+                    f"{type(tuning).__name__}"
+                )
+            # The concurrent service wraps the observer in a LockingSink;
+            # the controller must emit through the wrapped sink.
+            tuner = TuningController(
+                config, observer=getattr(buffer, "observer", observer)
+            )
+            tuner.attach_buffer(buffer, policy_name, policy_kwargs)
+
         return cls(
             buffer=buffer,
             disk=disk,
@@ -200,6 +232,7 @@ class BufferSystem:
             observer=observer,
             recorder=recorder,
             durability=durability_manager,
+            tuner=tuner,
         )
 
     @staticmethod
@@ -285,11 +318,15 @@ class BufferSystem:
         return isinstance(self.buffer, ConcurrentBufferManager)
 
     def stats_snapshot(self) -> dict:
-        """The buffer statistics as a plain dict."""
-        snapshot = getattr(self.buffer, "stats_snapshot", None)
-        if snapshot is not None:
-            return snapshot()
-        return self.buffer.stats.snapshot()
+        """The buffer statistics as a plain dict (plus tuner state, if any)."""
+        snapshot_hook = getattr(self.buffer, "stats_snapshot", None)
+        if snapshot_hook is not None:
+            snapshot = snapshot_hook()
+        else:
+            snapshot = self.buffer.stats.snapshot()
+        if self.tuner is not None:
+            snapshot["tuning"] = self.tuner.snapshot()
+        return snapshot
 
     def commit(self) -> int:
         """Request a durability point; flushes the buffer when undurable."""

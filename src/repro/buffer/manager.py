@@ -69,6 +69,12 @@ class BufferManager:
         #: the observer, ``None`` reduces every hook site to one attribute
         #: check, keeping the undurable core bit-identical.
         self.durability = durability
+        #: Optional self-tuning tap (see :mod:`repro.tuning`): an object
+        #: with ``on_access(manager, frame, hit)``, called after every
+        #: served request so ghost caches can shadow the live reference
+        #: stream.  ``None`` reduces both tap sites to one attribute
+        #: check — tuning disabled costs nothing and stays bit-identical.
+        self.tuner: "object | None" = None
         self._clock = 0
         self._query_id = 0
         self._in_query = False
@@ -169,6 +175,9 @@ class BufferManager:
         # (ASB's LRU-criterion comparison relies on that).
         self.policy.on_hit(frame, correlated)
         frame.touch(self._clock, self._query_id)
+        tuner = self.tuner
+        if tuner is not None:
+            tuner.on_access(self, frame, True)
         return frame.page
 
     def complete_miss(self, page: Page) -> Page:
@@ -190,6 +199,9 @@ class BufferManager:
                 )
             )
         frame = self._admit(page)
+        tuner = self.tuner
+        if tuner is not None:
+            tuner.on_access(self, frame, False)
         return frame.page
 
     def _admit(self, page: Page) -> Frame:
@@ -391,6 +403,31 @@ class BufferManager:
         if frame is None:
             raise KeyError(f"page {page_id} is not resident")
         return frame
+
+    # ------------------------------------------------------------------
+    # Live policy hand-off (see :mod:`repro.tuning`)
+    # ------------------------------------------------------------------
+
+    def switch_policy(self, policy: "ReplacementPolicy") -> "ReplacementPolicy":
+        """Hand the buffer to a fresh policy without evicting a page.
+
+        The safe hand-off protocol of the tuning controller: the incoming
+        policy attaches, rebuilds its bookkeeping from the resident frames
+        (:meth:`~repro.buffer.policies.base.ReplacementPolicy.seed_resident`
+        replays them oldest-access first), and only then becomes the
+        active policy — no frame is dropped, copied or unpinned, and the
+        hit/miss accounting is untouched, so ``hits + misses ==
+        requests`` holds across the switch.  Returns the replaced policy
+        (now detached from duty but still bound to this buffer for
+        introspection).
+        """
+        old = self.policy
+        if policy is old:
+            return old
+        policy.attach(self)
+        policy.seed_resident(list(self.frames.values()))
+        self.policy = policy
+        return old
 
     # ------------------------------------------------------------------
     # Maintenance

@@ -51,32 +51,131 @@ from repro.buffer.policies.two_q import TwoQ
 
 
 @dataclass(frozen=True)
-class PolicySpec:
-    """One registered policy: canonical name, constructor, keyword surface.
+class ParamSpec:
+    """One tunable constructor parameter of a registered policy.
 
-    ``keywords`` is the *normalised* keyword set the constructor accepts —
-    the registry rejects anything else up front with a message naming the
-    accepted spellings, so callers get one coherent error instead of
-    seventeen slightly different ``TypeError`` texts.
+    The registry's machine-readable keyword surface: the declared name is
+    the *normalised* keyword the constructor accepts, ``kind``/``lo``/
+    ``hi``/``choices`` describe its value space, and ``retunable`` marks
+    parameters a live policy instance can change in place via
+    :meth:`~repro.buffer.policies.base.ReplacementPolicy.retune` — the
+    parameter space the self-tuning controller (:mod:`repro.tuning`)
+    explores with ghost caches.
+    """
+
+    name: str
+    kind: str = "float"  # "int" | "float" | "bool" | "str"
+    default: object = None
+    lo: float | None = None
+    hi: float | None = None
+    choices: tuple = ()
+    retunable: bool = False
+    description: str = ""
+
+    def validate(self, owner: str, value: object) -> None:
+        """Reject values outside the declared space with a coherent error."""
+        expected = {
+            "int": int,
+            "float": (int, float),
+            "bool": bool,
+            "str": str,
+            "object": object,  # callables, mappings — not range-checkable
+        }[self.kind]
+        if self.kind == "int" and isinstance(value, bool):
+            raise TypeError(
+                f"policy {owner!r} parameter {self.name!r} expects an int, "
+                f"got bool"
+            )
+        if not isinstance(value, expected):
+            raise TypeError(
+                f"policy {owner!r} parameter {self.name!r} expects "
+                f"{self.kind}, got {type(value).__name__}"
+            )
+        if self.choices and value not in self.choices:
+            raise ValueError(
+                f"policy {owner!r} parameter {self.name!r} must be one of "
+                f"{sorted(self.choices)}, got {value!r}"
+            )
+        if self.lo is not None and value < self.lo:
+            raise ValueError(
+                f"policy {owner!r} parameter {self.name!r} must be "
+                f">= {self.lo}, got {value!r}"
+            )
+        if self.hi is not None and value > self.hi:
+            raise ValueError(
+                f"policy {owner!r} parameter {self.name!r} must be "
+                f"<= {self.hi}, got {value!r}"
+            )
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """One registered policy: canonical name, constructor, parameter space.
+
+    ``params`` declares the *normalised* keyword surface the constructor
+    accepts — keyword validation is derived from it, so the registry
+    rejects unknown names (and out-of-range values, where the parameter
+    declares a range) up front with a message naming the accepted
+    spellings, instead of seventeen slightly different ``TypeError``
+    texts.
     """
 
     name: str
     factory: Callable[..., ReplacementPolicy]
-    keywords: tuple[str, ...] = ()
+    params: tuple[ParamSpec, ...] = ()
     aliases: tuple[str, ...] = ()
     description: str = ""
     defaults: dict = field(default_factory=dict)
 
+    @property
+    def keywords(self) -> tuple[str, ...]:
+        """The accepted keyword names, derived from :attr:`params`."""
+        return tuple(param.name for param in self.params)
+
+    def param(self, name: str) -> ParamSpec:
+        for param in self.params:
+            if param.name == name:
+                return param
+        raise KeyError(f"policy {self.name!r} has no parameter {name!r}")
+
+    def retunable_params(self) -> tuple[ParamSpec, ...]:
+        """Parameters a live instance can change via ``retune()``."""
+        return tuple(param for param in self.params if param.retunable)
+
     def build(self, **kwargs) -> ReplacementPolicy:
-        unknown = sorted(set(kwargs) - set(self.keywords))
+        by_name = {param.name: param for param in self.params}
+        unknown = sorted(set(kwargs) - set(by_name))
         if unknown:
-            accepted = ", ".join(self.keywords) or "none"
+            accepted = ", ".join(by_name) or "none"
             raise TypeError(
                 f"policy {self.name!r} does not accept keyword(s) "
                 f"{unknown}; accepted keywords: {accepted}"
             )
+        for key, value in kwargs.items():
+            by_name[key].validate(self.name, value)
         merged = {**self.defaults, **kwargs}
         return self.factory(**merged)
+
+
+#: The candidate-set fraction shared by SLRU and ASB, declared once.
+_CANDIDATE_FRACTION = ParamSpec(
+    "candidate_fraction",
+    kind="float",
+    default=0.25,
+    lo=0.01,
+    hi=1.0,
+    retunable=True,
+    description="LRU candidate set as a fraction of the buffer",
+)
+
+_CRITERION = ParamSpec(
+    "criterion",
+    kind="str",
+    default="A",
+    choices=tuple(sorted(SPATIAL_CRITERIA)),
+    retunable=True,
+    description="spatial ranking criterion",
+)
 
 
 def _specs() -> dict[str, PolicySpec]:
@@ -87,7 +186,21 @@ def _specs() -> dict[str, PolicySpec]:
         PolicySpec(
             "GCLOCK",
             GClock,
-            keywords=("initial_weight", "max_count"),
+            params=(
+                ParamSpec(
+                    "initial_weight",
+                    kind="object",
+                    description="callable Page -> initial counter weight",
+                ),
+                ParamSpec(
+                    "max_count",
+                    kind="int",
+                    default=3,
+                    lo=1,
+                    hi=64,
+                    description="counter ceiling",
+                ),
+            ),
             description="generalized clock with weighted counters",
         ),
         PolicySpec("LFU", LFU, description="least frequently used"),
@@ -95,45 +208,85 @@ def _specs() -> dict[str, PolicySpec]:
         PolicySpec(
             "RANDOM",
             RandomPolicy,
-            keywords=("seed",),
+            params=(
+                ParamSpec("seed", kind="int", default=0,
+                          description="RNG seed"),
+            ),
             description="uniform random victim (seeded)",
         ),
         PolicySpec("LRU-T", LRUT, description="type-based LRU (Section 2.1)"),
         PolicySpec(
             "LRU-P",
             LRUP,
-            keywords=("priority",),
+            params=(
+                ParamSpec(
+                    "priority",
+                    kind="object",
+                    description="callable Page -> eviction priority",
+                ),
+            ),
             description="priority/level-based LRU (Section 2.1)",
         ),
         PolicySpec(
             "LRU-K",
             LRUK,
-            keywords=("k", "retain_history"),
+            params=(
+                ParamSpec(
+                    "k", kind="int", default=2, lo=1, hi=8, retunable=True,
+                    description="history depth K",
+                ),
+                ParamSpec(
+                    "retain_history", kind="bool", default=True,
+                    description="keep HIST across evictions",
+                ),
+            ),
             aliases=("LRUK",),
             description="history-based LRU-K (Section 2.2)",
         ),
         PolicySpec(
             "SLRU",
             SLRU,
-            keywords=("candidate_fraction", "criterion"),
+            params=(_CANDIDATE_FRACTION, _CRITERION),
             description="static LRU candidate set + spatial victim (4.1)",
         ),
         PolicySpec(
             "ASB",
             ASB,
-            keywords=(
-                "criterion",
-                "overflow_fraction",
-                "candidate_fraction",
-                "step_fraction",
-                "record_trace",
+            params=(
+                _CRITERION,
+                ParamSpec(
+                    "overflow_fraction", kind="float", default=0.2,
+                    lo=0.0, hi=0.99,
+                    description="overflow buffer share of the capacity",
+                ),
+                _CANDIDATE_FRACTION,
+                ParamSpec(
+                    "step_fraction", kind="float", default=0.01,
+                    lo=0.001, hi=1.0, retunable=True,
+                    description="adaptation step as a main-part fraction",
+                ),
+                ParamSpec(
+                    "record_trace", kind="bool", default=False,
+                    description="sample (clock, candidate_size) per adaptation",
+                ),
             ),
             description="adaptable spatial buffer (Section 4.2)",
         ),
         PolicySpec(
             "2Q",
             TwoQ,
-            keywords=("kin_fraction", "kout_fraction"),
+            params=(
+                ParamSpec(
+                    "kin_fraction", kind="float", default=0.25,
+                    lo=0.01, hi=0.99,
+                    description="A1in share of the buffer",
+                ),
+                ParamSpec(
+                    "kout_fraction", kind="float", default=0.5,
+                    lo=0.01, hi=4.0,
+                    description="A1out ghost list share",
+                ),
+            ),
             aliases=("TWOQ",),
             description="2Q (Johnson/Shasha 1994)",
         ),
@@ -141,7 +294,13 @@ def _specs() -> dict[str, PolicySpec]:
         PolicySpec(
             "DOMAIN",
             DomainSeparation,
-            keywords=("shares",),
+            params=(
+                ParamSpec(
+                    "shares",
+                    kind="object",
+                    description="mapping PageType -> buffer share",
+                ),
+            ),
             aliases=("DOMAIN-SEPARATION",),
             description="per-category LRU pools with static shares",
         ),
@@ -152,7 +311,12 @@ def _specs() -> dict[str, PolicySpec]:
             PolicySpec(
                 f"LRU-{k}",
                 LRUK,
-                keywords=("retain_history",),
+                params=(
+                    ParamSpec(
+                        "retain_history", kind="bool", default=True,
+                        description="keep HIST across evictions",
+                    ),
+                ),
                 defaults={"k": k},
                 description=f"LRU-K with K={k}",
             )
@@ -163,7 +327,6 @@ def _specs() -> dict[str, PolicySpec]:
             PolicySpec(
                 criterion,
                 SpatialPolicy,
-                keywords=(),
                 defaults={"criterion": criterion},
                 description=f"pure spatial replacement, criterion {criterion}",
             )
@@ -185,6 +348,40 @@ _LRU_K_NAME = re.compile(r"^LRU-(\d+)$")
 def policy_names() -> list[str]:
     """The canonical policy names, sorted (aliases excluded)."""
     return sorted({spec.name for spec in POLICY_REGISTRY.values()})
+
+
+def policy_param_space(name: str | None = None) -> dict:
+    """The tunable-parameter space of one policy, or of the whole zoo.
+
+    With a ``name``, returns ``{param_name: ParamSpec}`` for that policy;
+    without, returns ``{policy_name: {param_name: ParamSpec}}`` for every
+    registered policy (parameter-free policies map to ``{}``).  This is
+    the surface the self-tuning controller (:mod:`repro.tuning`) explores:
+    ``ParamSpec.retunable`` marks knobs a live instance accepts through
+    :meth:`~repro.buffer.policies.base.ReplacementPolicy.retune`, and
+    ``lo``/``hi``/``choices`` bound the variants worth ghost-simulating.
+
+    >>> sorted(policy_param_space("SLRU"))
+    ['candidate_fraction', 'criterion']
+    >>> policy_param_space("LRU")
+    {}
+    """
+    if name is not None:
+        key = name.strip().upper()
+        spec = POLICY_REGISTRY.get(key)
+        if spec is None:
+            if _LRU_K_NAME.match(key):
+                spec = POLICY_REGISTRY["LRU-K"]
+            else:
+                raise ValueError(
+                    f"unknown policy {name!r}; known policies: "
+                    + ", ".join(policy_names())
+                )
+        return {param.name: param for param in spec.params}
+    return {
+        spec.name: {param.name: param for param in spec.params}
+        for spec in POLICY_REGISTRY.values()
+    }
 
 
 def make_policy(name: str, **kwargs) -> ReplacementPolicy:
@@ -216,10 +413,12 @@ def make_policy(name: str, **kwargs) -> ReplacementPolicy:
 
 __all__ = [
     "ReplacementPolicy",
+    "ParamSpec",
     "PolicySpec",
     "POLICY_REGISTRY",
     "make_policy",
     "policy_names",
+    "policy_param_space",
     "LRU",
     "ARC",
     "TwoQ",

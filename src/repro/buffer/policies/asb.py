@@ -163,6 +163,40 @@ class ASB(ReplacementPolicy):
         self._candidate_size = self._initial_candidate_size()
         self.trace.clear()
 
+    def retune(
+        self,
+        *,
+        candidate_fraction: float | None = None,
+        step_fraction: float | None = None,
+        criterion: str | None = None,
+        **kwargs,
+    ) -> None:
+        """Re-aim the self-tuning knob in place (controller hook).
+
+        ``candidate_fraction`` re-seats the candidate-set size at the new
+        fraction (the overflow feedback loop keeps adapting from there);
+        ``step_fraction``/``criterion`` swap the adaptation granularity
+        and the spatial ranking.  Resident bookkeeping (main/overflow
+        membership) is untouched — retuning never drops a page.
+        """
+        super().retune(**kwargs)
+        if criterion is not None:
+            if criterion not in SPATIAL_CRITERIA:
+                raise ValueError(f"unknown spatial criterion {criterion!r}")
+            self.criterion = criterion
+        if step_fraction is not None:
+            if not 0.0 < step_fraction <= 1.0:
+                raise ValueError("step fraction must be in (0, 1]")
+            self.step_fraction = step_fraction
+            if self.main_capacity:
+                self._step = max(1, round(step_fraction * self.main_capacity))
+        if candidate_fraction is not None:
+            if not 0.0 < candidate_fraction <= 1.0:
+                raise ValueError("candidate fraction must be in (0, 1]")
+            self.candidate_fraction = candidate_fraction
+            if self.main_capacity:
+                self._candidate_size = self._initial_candidate_size()
+
     # ------------------------------------------------------------------
     # The self-tuning step
     # ------------------------------------------------------------------

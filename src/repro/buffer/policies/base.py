@@ -98,6 +98,40 @@ class ReplacementPolicy(abc.ABC):
         """Drop all internal state (buffer was cleared)."""
 
     # ------------------------------------------------------------------
+    # Self-tuning hooks (see :mod:`repro.tuning`)
+    # ------------------------------------------------------------------
+
+    def retune(self, **kwargs) -> None:
+        """Change tunable parameters of a *live* instance in place.
+
+        The accepted keywords are the registry's ``retunable`` parameters
+        (see :func:`repro.buffer.policies.policy_param_space`); resident
+        bookkeeping is preserved, so retuning never costs a page.  The
+        base implementation accepts no keywords — policies with knobs
+        override it.
+        """
+        if kwargs:
+            raise TypeError(
+                f"policy {self.name!r} has no retunable parameters; "
+                f"got {sorted(kwargs)}"
+            )
+
+    def seed_resident(self, frames: list[Frame]) -> None:
+        """Rebuild internal bookkeeping for already-resident frames.
+
+        Called once, directly after :meth:`attach`, when this policy takes
+        over a running buffer (a live policy hand-off — see
+        :meth:`repro.buffer.manager.BufferManager.switch_policy`).  The
+        frames arrive oldest-access first; the default replays them
+        through :meth:`on_load`, which reconstructs each policy's
+        structures as if the pages had been loaded in recency order.
+        Timestamps live on the frames themselves, so recency-based
+        policies inherit the true access history for free.
+        """
+        for frame in sorted(frames, key=lambda frame: frame.last_access):
+            self.on_load(frame)
+
+    # ------------------------------------------------------------------
     # The decision
     # ------------------------------------------------------------------
 

@@ -72,6 +72,24 @@ class LRUK(ReplacementPolicy):
         self._hist.clear()
         self._last_query.clear()
 
+    def retune(self, *, k: int | None = None, **kwargs) -> None:
+        """Change K in place; histories are trimmed to the new depth.
+
+        Growing K keeps the recorded prefixes (pages rank as "fewer than K
+        references" until they accumulate more history); shrinking K drops
+        the surplus oldest timestamps.  Resident pages and their histories
+        survive — retuning never costs a page.
+        """
+        super().retune(**kwargs)
+        if k is None:
+            return
+        if k < 1:
+            raise ValueError("K must be at least 1")
+        self.k = k
+        self.name = f"LRU-{k}"
+        for hist in self._hist.values():
+            del hist[k:]
+
     # ------------------------------------------------------------------
     # Victim selection
     # ------------------------------------------------------------------

@@ -70,6 +70,25 @@ class SLRU(ReplacementPolicy):
         deprecated_keyword("SLRU", "fraction", "candidate_fraction", None)
         return self.candidate_fraction
 
+    def retune(
+        self,
+        *,
+        candidate_fraction: float | None = None,
+        criterion: str | None = None,
+        **kwargs,
+    ) -> None:
+        """Change the candidate fraction / criterion of a live instance."""
+        super().retune(**kwargs)
+        if criterion is not None:
+            if criterion not in SPATIAL_CRITERIA:
+                raise ValueError(f"unknown spatial criterion {criterion!r}")
+            self.criterion = criterion
+        if candidate_fraction is not None:
+            if not 0.0 < candidate_fraction <= 1.0:
+                raise ValueError("candidate fraction must be in (0, 1]")
+            self.candidate_fraction = candidate_fraction
+            self.name = f"SLRU {int(round(candidate_fraction * 100))}%"
+
     def candidate_count(self) -> int:
         """Size of the candidate set for the current buffer capacity."""
         return max(1, math.ceil(self.candidate_fraction * self.buffer.capacity))

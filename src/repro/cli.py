@@ -24,7 +24,10 @@ Four commands cover the common workflows without writing any code:
   before exiting);
 * ``bench serve`` — throughput/latency sweep of the page service over
   1→8 concurrent clients plus a backpressure probe demonstrating
-  ``RETRY_AFTER`` rejection under overload (writes ``BENCH_serve.json``).
+  ``RETRY_AFTER`` rejection under overload (writes ``BENCH_serve.json``);
+* ``bench tuning`` — phase-shifting workload scored per phase: static
+  expert policies vs the self-tuning buffer (ghost caches + controller),
+  including the ghost wall-clock overhead (writes ``BENCH_tuning.json``).
 
 Examples::
 
@@ -188,6 +191,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="one client's admitted+queued bound")
     serve.add_argument("--request-timeout", type=float, default=None,
                        help="seconds before a request fails with TIMEOUT")
+    serve.add_argument("--tune", action="store_true",
+                       help="attach the self-tuning controller (ghost "
+                            "caches; state appears under STATS)")
 
     bench = commands.add_parser(
         "bench", help="performance benchmarks of the buffer services"
@@ -228,6 +234,29 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_serve.add_argument("--seed", type=int, default=7)
     bench_serve.add_argument("--out", default="BENCH_serve.json",
                              help="output JSON path")
+    tuning = bench_commands.add_parser(
+        "tuning",
+        help="phase-shifting workload: adaptive buffer vs static experts",
+    )
+    tuning.add_argument("--objects", type=int, default=20_000)
+    tuning.add_argument("--queries", type=int, default=400,
+                        help="queries per workload phase")
+    tuning.add_argument("--fraction", type=float, default=0.05,
+                        help="buffer size relative to the tree's pages")
+    tuning.add_argument("--epoch", type=int, default=100,
+                        help="tuning epoch length in page accesses")
+    tuning.add_argument("--policy", default="LRU",
+                        choices=sorted(POLICY_FACTORIES),
+                        help="starting (deliberately naive) live policy")
+    tuning.add_argument("--latency-us", type=float, default=100.0,
+                        help="simulated SSD read latency in microseconds")
+    tuning.add_argument("--sample", type=float, default=0.15,
+                        help="SHARDS-style ghost sampling rate (0, 1]")
+    tuning.add_argument("--reps", type=int, default=5,
+                        help="repetitions for the min-of-N overhead timing")
+    tuning.add_argument("--seed", type=int, default=7)
+    tuning.add_argument("--out", default="BENCH_tuning.json",
+                        help="output JSON path")
     wal = bench_commands.add_parser(
         "wal",
         help="group-commit batching and recovery time of the durable path",
@@ -478,6 +507,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shards=args.shards or None,
         durability=True,
         page_size=args.page_size,
+        tuning=True if args.tune else None,
     )
     for page_id in range(args.pages):
         system.disk.store(make_seed_page(page_id, page_id, args.page_size))
@@ -519,7 +549,35 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _cmd_bench_wal(args)
     if args.bench_command == "serve":
         return _cmd_bench_serve(args)
+    if args.bench_command == "tuning":
+        return _cmd_bench_tuning(args)
     return _cmd_bench_concurrent(args)
+
+
+def _cmd_bench_tuning(args: argparse.Namespace) -> int:
+    from repro.experiments.tuningbench import run_tuning_bench
+
+    report = run_tuning_bench(
+        objects=args.objects,
+        queries_per_phase=args.queries,
+        buffer_fraction=args.fraction,
+        seed=args.seed,
+        epoch_length=args.epoch,
+        start_policy=args.policy,
+        read_latency_us=args.latency_us,
+        sample=args.sample,
+        overhead_reps=args.reps,
+    )
+    print(report.to_text())
+    verdict = report.acceptance()
+    if args.out:
+        report.save(args.out)
+        print(f"wrote tuning bench report -> {args.out}")
+    if not verdict["adapted_at_least_once"]:
+        print("the controller never adapted — tuning is inert on this "
+              "workload", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_bench_serve(args: argparse.Namespace) -> int:

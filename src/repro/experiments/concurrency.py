@@ -72,10 +72,14 @@ class ContentionSweep:
     queries_per_client: int
     policy: str
     points: list[ContentionPoint] = field(default_factory=list)
+    seed: int | None = None
 
     def to_dict(self) -> dict:
+        from repro.experiments.benchmeta import run_metadata
+
         return {
             "benchmark": "concurrent-contention",
+            "meta": run_metadata(self.seed),
             "capacity": self.capacity,
             "queries_per_client": self.queries_per_client,
             "policy": self.policy,
@@ -199,6 +203,7 @@ def sweep_contention(
         capacity=capacity,
         queries_per_client=queries_per_client,
         policy=policy_name,
+        seed=seed,
     )
     for shards in shard_counts:
         for threads in thread_counts:

@@ -133,10 +133,14 @@ class ServeBenchReport:
     requests_per_client: int
     points: list[ServePoint] = field(default_factory=list)
     backpressure: BackpressureProbe | None = None
+    seed: int | None = None
 
     def to_dict(self) -> dict:
+        from repro.experiments.benchmeta import run_metadata
+
         return {
             "benchmark": "page-service",
+            "meta": run_metadata(self.seed),
             "policy": self.policy,
             "capacity": self.capacity,
             "shards": self.shards,
@@ -373,6 +377,7 @@ def run_serve_bench(
         shards=shards,
         pages=pages,
         requests_per_client=requests_per_client,
+        seed=seed,
     )
     for clients in client_counts:
         report.points.append(

@@ -1,0 +1,382 @@
+"""``bench tuning`` — does the self-tuner earn its keep?
+
+The benchmark drives the phase-shifting workload
+(:func:`repro.workloads.phased.phased_workload`) through:
+
+* one **static** buffer per panel policy (LRU, LRU-2, ASB) — the experts
+  the adaptive system is judged against;
+* one **observe-only** tuned buffer (ghosts attached, adaptation
+  disabled) — isolates the ghost-cache wall-clock overhead, since the
+  live work is identical to the static baseline;
+* one **adaptive** buffer (full controller) — scored per phase.
+
+Scoring uses hit ratios per labelled phase (the buffer runs continuously
+across phase seams — adapting to them is the whole point, so there is no
+cleared-buffer protocol here).  The acceptance block answers the
+questions the roadmap poses:
+
+* is the adaptive buffer within 5 % of the *best* static expert in every
+  phase (relative, with an absolute floor for near-zero phases)?
+* does it beat the *worst* static expert overall?  (The robustness
+  claim: adaptivity buys freedom from picking the wrong policy.)
+* is the ghost overhead at N=3 candidates at most 10 % wall clock?
+* did at least one adaptation actually fire?
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+
+from repro.api import BufferSystem
+from repro.datasets.synthetic import us_mainland_like
+from repro.experiments.benchmeta import run_metadata
+from repro.experiments.harness import build_database, buffer_capacity
+from repro.tuning import TuningConfig, default_candidates
+from repro.workloads.phased import PhasedWorkload, phased_workload
+
+#: The static experts every adaptive run is judged against.
+STATIC_PANEL = ("LRU", "LRU-2", "ASB")
+
+
+class _DelayDisk:
+    """A page store whose reads cost simulated I/O time.
+
+    The in-memory :class:`~repro.storage.disk.SimulatedDisk` serves reads
+    in sub-microsecond time, which makes *any* per-access CPU cost look
+    enormous relative to the workload.  Real buffer managers exist
+    because misses cost tens of microseconds (NVMe) to milliseconds
+    (disk); the bench models an SSD-class read by spinning for a fixed
+    latency per read, so wall-clock ratios reflect a system that actually
+    pays for its misses.  Writes and everything else pass through.
+    """
+
+    def __init__(self, inner, latency_s: float) -> None:
+        self._inner = inner
+        self._latency_s = latency_s
+
+    def read(self, page_id):
+        page = self._inner.read(page_id)
+        if self._latency_s > 0.0:
+            deadline = time.perf_counter() + self._latency_s
+            while time.perf_counter() < deadline:
+                pass
+        return page
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+#: Absolute hit-ratio slack added to the 5 % relative bound, so phases
+#: where everyone misses (the scan) cannot fail on noise.
+ABSOLUTE_SLACK = 0.01
+
+
+@dataclass(slots=True)
+class PhaseScore:
+    """One policy's outcome over one labelled phase."""
+
+    phase: str
+    requests: int
+    hits: int
+    misses: int
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "phase": self.phase,
+            "requests": self.requests,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_ratio": round(self.hit_ratio, 4),
+        }
+
+
+@dataclass(slots=True)
+class PolicyRun:
+    """One buffer's continuous run over the whole phased stream."""
+
+    label: str
+    phases: list[PhaseScore] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def requests(self) -> int:
+        return sum(score.requests for score in self.phases)
+
+    @property
+    def hits(self) -> int:
+        return sum(score.hits for score in self.phases)
+
+    @property
+    def overall_hit_ratio(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def phase_ratio(self, phase: str) -> float:
+        for score in self.phases:
+            if score.phase == phase:
+                return score.hit_ratio
+        raise KeyError(phase)
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "seconds": round(self.seconds, 4),
+            "overall_hit_ratio": round(self.overall_hit_ratio, 4),
+            "phases": [score.to_dict() for score in self.phases],
+        }
+
+
+@dataclass(slots=True)
+class TuningBenchReport:
+    """The full ``bench tuning`` report."""
+
+    objects: int
+    capacity: int
+    queries_per_phase: int
+    epoch_length: int
+    seed: int
+    start_policy: str
+    read_latency_us: float = 0.0
+    sample: float = 1.0
+    static: list[PolicyRun] = field(default_factory=list)
+    shadow: PolicyRun | None = None
+    adaptive: PolicyRun | None = None
+    tuner: dict = field(default_factory=dict)
+    #: Min-of-N wall clocks for the overhead ratio (single runs are too
+    #: noisy at sub-second lengths to judge a 10 % bound).
+    overhead_reps: int = 1
+    base_seconds: float = 0.0
+    shadow_seconds: float = 0.0
+
+    # -- derived judgements --------------------------------------------
+
+    def phase_names(self) -> list[str]:
+        return [score.phase for score in self.static[0].phases]
+
+    def best_static(self, phase: str) -> float:
+        return max(run.phase_ratio(phase) for run in self.static)
+
+    def worst_static_overall(self) -> float:
+        return min(run.overall_hit_ratio for run in self.static)
+
+    def ghost_overhead(self) -> float:
+        """Relative wall-clock cost of running the ghosts (shadow vs base).
+
+        The shadow run does the identical live work as the static run of
+        the start policy, plus the ghost feeding — the difference is the
+        ghost overhead.  Both sides are the min over ``overhead_reps``
+        repeated runs, the standard defence against scheduler noise.
+        """
+        if self.base_seconds <= 0.0:
+            return 0.0
+        return self.shadow_seconds / self.base_seconds - 1.0
+
+    def acceptance(self) -> dict:
+        adaptive = self.adaptive
+        assert adaptive is not None
+        per_phase = {}
+        for phase in self.phase_names():
+            best = self.best_static(phase)
+            got = adaptive.phase_ratio(phase)
+            per_phase[phase] = {
+                "best_static": round(best, 4),
+                "adaptive": round(got, 4),
+                "within_5pct": bool(
+                    best - got <= max(0.05 * best, ABSOLUTE_SLACK)
+                ),
+            }
+        overhead = self.ghost_overhead()
+        adaptations = int(self.tuner.get("retunes", 0)) + int(
+            self.tuner.get("switches", 0)
+        )
+        return {
+            "per_phase": per_phase,
+            "within_5pct_of_best_each_phase": all(
+                entry["within_5pct"] for entry in per_phase.values()
+            ),
+            "worst_static_overall": round(self.worst_static_overall(), 4),
+            "adaptive_overall": round(adaptive.overall_hit_ratio, 4),
+            "beats_worst_static_overall": bool(
+                adaptive.overall_hit_ratio >= self.worst_static_overall()
+            ),
+            "ghost_overhead": round(overhead, 4),
+            "ghost_overhead_leq_10pct": bool(overhead <= 0.10),
+            "adaptations": adaptations,
+            "adapted_at_least_once": bool(adaptations >= 1),
+        }
+
+    # -- serialisation --------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "benchmark": "tuning",
+            "meta": run_metadata(self.seed),
+            "objects": self.objects,
+            "capacity": self.capacity,
+            "queries_per_phase": self.queries_per_phase,
+            "epoch_length": self.epoch_length,
+            "start_policy": self.start_policy,
+            "read_latency_us": self.read_latency_us,
+            "sample": self.sample,
+            "overhead_reps": self.overhead_reps,
+            "base_seconds": round(self.base_seconds, 4),
+            "shadow_seconds": round(self.shadow_seconds, 4),
+            "static": [run.to_dict() for run in self.static],
+            "shadow": self.shadow.to_dict() if self.shadow else None,
+            "adaptive": self.adaptive.to_dict() if self.adaptive else None,
+            "tuner": dict(self.tuner),
+            "acceptance": self.acceptance(),
+        }
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+            handle.write("\n")
+
+    def to_text(self) -> str:
+        runs = list(self.static)
+        if self.adaptive is not None:
+            runs.append(self.adaptive)
+        lines = [
+            f"tuning bench — {self.objects} objects, {self.capacity} frames, "
+            f"{self.queries_per_phase} queries/phase, epoch "
+            f"{self.epoch_length}, start {self.start_policy}, "
+            f"{self.read_latency_us:.0f}µs reads, sample {self.sample:g}",
+            "",
+            "hit ratio by phase:",
+            f"{'policy':>14} "
+            + " ".join(f"{phase:>8}" for phase in self.phase_names())
+            + f" {'overall':>8} {'wall s':>7}",
+        ]
+        for run in runs:
+            lines.append(
+                f"{run.label:>14} "
+                + " ".join(
+                    f"{score.hit_ratio:>8.1%}" for score in run.phases
+                )
+                + f" {run.overall_hit_ratio:>8.1%} {run.seconds:>7.3f}"
+            )
+        verdict = self.acceptance()
+        lines.append("")
+        lines.append(
+            f"adaptations: {verdict['adaptations']} "
+            f"(retunes {self.tuner.get('retunes', 0)}, "
+            f"switches {self.tuner.get('switches', 0)}, "
+            f"epochs {self.tuner.get('epochs', 0)}); "
+            f"live policy ended as {self.tuner.get('live', '?')}"
+        )
+        lines.append(
+            f"ghost overhead (observe-only vs static): "
+            f"{verdict['ghost_overhead']:+.1%}"
+        )
+        lines.append(
+            "acceptance: "
+            f"within-5%-each-phase={verdict['within_5pct_of_best_each_phase']} "
+            f"beats-worst-overall={verdict['beats_worst_static_overall']} "
+            f"overhead<=10%={verdict['ghost_overhead_leq_10pct']} "
+            f"adapted={verdict['adapted_at_least_once']}"
+        )
+        return "\n".join(lines)
+
+
+def drive_phased(system: BufferSystem, tree, workload: PhasedWorkload, label: str) -> PolicyRun:
+    """Run the whole phased stream, scoring each labelled span."""
+    run = PolicyRun(label=label)
+    prev_requests = prev_hits = prev_misses = 0
+    started = time.perf_counter()
+    for span in workload.spans:
+        for query in workload.queries[span.start:span.end]:
+            with system.buffer.query_scope():
+                query.run(tree, system.buffer)
+        stats = system.buffer.stats
+        run.phases.append(
+            PhaseScore(
+                phase=span.name,
+                requests=stats.requests - prev_requests,
+                hits=stats.hits - prev_hits,
+                misses=stats.misses - prev_misses,
+            )
+        )
+        prev_requests = stats.requests
+        prev_hits = stats.hits
+        prev_misses = stats.misses
+    run.seconds = time.perf_counter() - started
+    return run
+
+
+def run_tuning_bench(
+    objects: int = 20_000,
+    queries_per_phase: int = 400,
+    buffer_fraction: float = 0.05,
+    seed: int = 7,
+    epoch_length: int = 100,
+    start_policy: str = "LRU",
+    static_panel: tuple[str, ...] = STATIC_PANEL,
+    read_latency_us: float = 100.0,
+    sample: float = 0.15,
+    overhead_reps: int = 5,
+) -> TuningBenchReport:
+    """Build the database, run static / shadow / adaptive, judge."""
+    database = build_database(us_mainland_like(n_objects=objects, seed=seed))
+    tree = database.tree
+    capacity = buffer_capacity(database, buffer_fraction)
+    disk = _DelayDisk(tree.pagefile.disk, read_latency_us * 1e-6)
+    workload = phased_workload(
+        database.dataset.space, queries_per_phase=queries_per_phase, seed=seed
+    )
+    report = TuningBenchReport(
+        objects=objects,
+        capacity=capacity,
+        queries_per_phase=queries_per_phase,
+        epoch_length=epoch_length,
+        seed=seed,
+        start_policy=start_policy,
+        read_latency_us=read_latency_us,
+        sample=sample,
+        overhead_reps=max(1, overhead_reps),
+    )
+    for name in static_panel:
+        system = BufferSystem.build(policy=name, capacity=capacity, disk=disk)
+        report.static.append(drive_phased(system, tree, workload, name))
+
+    candidates = default_candidates(start_policy)
+    observe_only = TuningConfig(
+        candidates=candidates,
+        epoch_length=epoch_length,
+        allow_retune=False,
+        allow_switch=False,
+        sample=sample,
+    )
+    base_times: list[float] = []
+    shadow_times: list[float] = []
+    for _ in range(report.overhead_reps):
+        system = BufferSystem.build(
+            policy=start_policy, capacity=capacity, disk=disk
+        )
+        base_times.append(drive_phased(system, tree, workload, "base").seconds)
+        system = BufferSystem.build(
+            policy=start_policy, capacity=capacity, disk=disk, tuning=observe_only
+        )
+        report.shadow = drive_phased(system, tree, workload, "shadow")
+        shadow_times.append(report.shadow.seconds)
+    report.base_seconds = min(base_times)
+    report.shadow_seconds = min(shadow_times)
+
+    adaptive_config = TuningConfig(
+        candidates=candidates,
+        epoch_length=epoch_length,
+        hysteresis=0.01,
+        patience=1,
+        cooldown=1,
+        sample=sample,
+    )
+    system = BufferSystem.build(
+        policy=start_policy, capacity=capacity, disk=disk, tuning=adaptive_config
+    )
+    report.adaptive = drive_phased(system, tree, workload, "adaptive")
+    report.tuner = system.tuner.snapshot()
+    return report

@@ -95,8 +95,11 @@ class WalBenchReport:
     recovery: list[RecoveryPoint] = field(default_factory=list)
 
     def to_dict(self) -> dict:
+        from repro.experiments.benchmeta import run_metadata
+
         return {
             "benchmark": "wal",
+            "meta": run_metadata(self.seed),
             "steps": self.steps,
             "pages": self.pages,
             "capacity": self.capacity,

@@ -29,6 +29,15 @@ req_admitted  the page service admitted a request (``size`` = requests
 req_rejected  the admission controller rejected a request with
             RETRY_AFTER (``size`` = in-flight + queued at rejection)
 req_timeout a request timed out in the queue or mid-execution
+tune_epoch  the tuning controller closed an observation epoch
+            (``size`` = epoch length in accesses, ``value`` = live
+            epoch hit-rate, ``label`` = leading configuration)
+tune_retune the controller retuned the live policy's parameters in
+            place (``label`` = ``"param=value"`` summary, ``value`` =
+            the ghost hit-rate that motivated it)
+tune_switch the controller handed the buffer to a different policy
+            (``label`` = new policy name, ``value`` = ghost hit-rate,
+            ``size`` = resident frames migrated)
 ==========  ==========================================================
 
 The durability events (``wal_*``, ``bg_flush``, ``checkpoint``,
@@ -37,7 +46,9 @@ carries the log's LSN scale rather than a buffer's logical clock, since
 one write-ahead log may serve several buffer shards.  The service events
 (``req_*``) are emitted by :mod:`repro.server`; their ``clock`` is the
 server's admission sequence number and their ``query`` field carries the
-client connection id.
+client connection id.  The tuning events (``tune_*``) are emitted by
+:mod:`repro.tuning`; their ``clock`` is the controller's global access
+count (summed over shards).
 
 Emission order within one request is fixed: ``fetch`` first, then either
 ``hit`` (followed by any policy events such as ``adapt``/``promote``) or
@@ -72,6 +83,9 @@ EVENT_KINDS = (
     "req_admitted",
     "req_rejected",
     "req_timeout",
+    "tune_epoch",
+    "tune_retune",
+    "tune_switch",
 )
 
 
@@ -90,6 +104,8 @@ class BufferEvent:
     size: int | None = None
     delta: int | None = None
     lsn: int | None = None
+    value: float | None = None
+    label: str | None = None
 
     def to_dict(self) -> dict:
         """A compact dict: ``None`` fields are omitted."""

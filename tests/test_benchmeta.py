@@ -1,0 +1,82 @@
+"""Tests of the shared benchmark metadata block and the tuning bench.
+
+Every ``BENCH_*.json`` writer stamps the same ``meta`` block
+(:func:`repro.experiments.benchmeta.run_metadata`), so results files are
+attributable to a revision, a seed and a point in time.  The tuning
+bench is smoke-run at miniature scale: the structural identities are
+asserted, the wall-clock acceptance flags are not (they belong to the
+full-size run).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.benchmeta import SCHEMA_VERSION, git_revision, run_metadata
+
+
+class TestRunMetadata:
+    def test_shape(self):
+        meta = run_metadata(seed=42)
+        assert meta["schema_version"] == SCHEMA_VERSION
+        assert meta["seed"] == 42
+        assert isinstance(meta["git_rev"], str) and meta["git_rev"]
+        assert meta["created_utc"].endswith("+00:00")
+        assert "python" in meta and "platform" in meta
+
+    def test_seed_omitted_when_none(self):
+        assert "seed" not in run_metadata()
+
+    def test_git_revision_is_stable(self):
+        assert git_revision() == git_revision()
+
+    def test_every_bench_report_carries_meta(self):
+        from repro.experiments.concurrency import ContentionSweep
+        from repro.experiments.walbench import WalBenchReport
+
+        wal = WalBenchReport(
+            steps=1, pages=1, capacity=1, page_size=512, seed=3
+        )
+        assert wal.to_dict()["meta"]["seed"] == 3
+        sweep = ContentionSweep(
+            capacity=8, queries_per_client=1, policy="LRU", seed=4
+        )
+        assert sweep.to_dict()["meta"]["seed"] == 4
+
+
+class TestTuningBenchSmoke:
+    def test_miniature_run_structure(self):
+        from repro.experiments.tuningbench import run_tuning_bench
+
+        report = run_tuning_bench(
+            objects=1200,
+            queries_per_phase=25,
+            buffer_fraction=0.05,
+            seed=3,
+            epoch_length=40,
+            read_latency_us=0.0,
+            sample=1.0,
+            overhead_reps=1,
+        )
+        data = report.to_dict()
+        assert data["benchmark"] == "tuning"
+        assert data["meta"]["seed"] == 3
+        assert [run["label"] for run in data["static"]] == [
+            "LRU", "LRU-2", "ASB"
+        ]
+        # Identity per run: phases partition the stream exactly.
+        for run in (*report.static, report.shadow, report.adaptive):
+            assert run is not None
+            assert [score.phase for score in run.phases] == [
+                "scan", "hotspot", "drift", "mixed"
+            ]
+            for score in run.phases:
+                assert score.hits + score.misses == score.requests
+        # The shadow run's live work is identical to the static start
+        # policy's: same decisions, only the ghosts ride along.
+        static_lru = report.static[0]
+        assert report.shadow.overall_hit_ratio == static_lru.overall_hit_ratio
+        verdict = data["acceptance"]
+        assert set(verdict["per_phase"]) == {
+            "scan", "hotspot", "drift", "mixed"
+        }
+        assert report.base_seconds > 0.0 and report.shadow_seconds > 0.0
+        assert report.tuner["epochs"] >= 1

@@ -70,6 +70,7 @@ class TestEventModel:
             "fetch", "hit", "miss", "evict", "writeback", "promote", "adapt",
             "wal_append", "wal_fsync", "bg_flush", "checkpoint", "recover",
             "req_queued", "req_admitted", "req_rejected", "req_timeout",
+            "tune_epoch", "tune_retune", "tune_switch",
         )
 
     def test_to_dict_drops_none_fields(self):

@@ -1,0 +1,117 @@
+"""Tests of the phase-shifting workload generator.
+
+The tuning subsystem's stressor must be deterministic (the golden digest
+pins the exact query stream for a fixed seed), correctly labelled (the
+spans partition the flat list), and actually phase-shifting (the phases
+have measurably different locality).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.workloads.phased import (
+    PHASE_NAMES,
+    hotspot_queries,
+    mixed_queries,
+    phased_workload,
+    scan_queries,
+)
+from repro.workloads.queries import PointQuery, WindowQuery
+
+SPACE = Rect(0.0, 0.0, 1.0, 1.0)
+
+#: SHA-256 over the (type, region) stream of ``phased_workload(seed=0,
+#: queries_per_phase=40)``.  Any change to the generators breaks every
+#: recorded tuning trace, so it must be deliberate: update the digest in
+#: the same commit and say why.
+GOLDEN_DIGEST = "5f0232fa2ba4b8c0f647050690af852d416d09a396925197934208e2bc153e93"
+
+
+def stream_digest(workload) -> str:
+    digest = hashlib.sha256()
+    for query in workload.queries:
+        region = query.region
+        digest.update(
+            f"{type(query).__name__}:{region.x_min:.12f},{region.y_min:.12f},"
+            f"{region.x_max:.12f},{region.y_max:.12f};".encode()
+        )
+    return digest.hexdigest()
+
+
+class TestPhasedWorkload:
+    def test_golden_digest(self):
+        workload = phased_workload(SPACE, queries_per_phase=40, seed=0)
+        assert stream_digest(workload) == GOLDEN_DIGEST
+
+    def test_deterministic_per_seed(self):
+        one = phased_workload(SPACE, queries_per_phase=30, seed=5)
+        two = phased_workload(SPACE, queries_per_phase=30, seed=5)
+        other = phased_workload(SPACE, queries_per_phase=30, seed=6)
+        assert stream_digest(one) == stream_digest(two)
+        assert stream_digest(one) != stream_digest(other)
+
+    def test_spans_partition_the_stream(self):
+        workload = phased_workload(SPACE, queries_per_phase=25, seed=1)
+        assert [span.name for span in workload.spans] == list(PHASE_NAMES)
+        cursor = 0
+        for span in workload.spans:
+            assert span.start == cursor
+            assert span.count == 25
+            cursor = span.end
+        assert cursor == len(workload) == 100
+
+    def test_phase_queries_lookup(self):
+        workload = phased_workload(SPACE, queries_per_phase=10, seed=2)
+        assert len(workload.phase_queries("drift")) == 10
+        with pytest.raises(KeyError):
+            workload.phase_queries("nonexistent")
+
+    def test_phase_lengths_independent(self):
+        # Phase seeds derive from (seed, phase index), not from how many
+        # queries earlier phases consumed: the hotspot phase is identical
+        # whether phases are 10 or 50 queries long.
+        short = phased_workload(SPACE, queries_per_phase=10, seed=3)
+        long = phased_workload(SPACE, queries_per_phase=50, seed=3)
+        short_hot = short.phase_queries("hotspot")
+        long_hot = long.phase_queries("hotspot")
+        assert [q.region for q in short_hot] == [
+            q.region for q in long_hot[: len(short_hot)]
+        ]
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(ValueError):
+            phased_workload(SPACE, queries_per_phase=5, phases=("scan", "bogus"))
+        with pytest.raises(ValueError):
+            phased_workload(SPACE, queries_per_phase=0)
+
+
+class TestPhaseGenerators:
+    def test_scan_covers_the_space(self):
+        queries = scan_queries(SPACE, 36)
+        assert len(queries) == 36
+        xs = {round(query.region.center.x, 6) for query in queries}
+        ys = {round(query.region.center.y, 6) for query in queries}
+        assert len(xs) > 1 and len(ys) > 1          # a 2-D sweep, not a line
+        for query in queries:
+            assert SPACE.contains(query.region)
+
+    def test_hotspot_stays_hot(self):
+        queries = hotspot_queries(SPACE, 50, seed=4)
+        centers_x = [query.region.center.x for query in queries]
+        centers_y = [query.region.center.y for query in queries]
+        spread_x = max(centers_x) - min(centers_x)
+        spread_y = max(centers_y) - min(centers_y)
+        assert spread_x < 0.2 and spread_y < 0.2    # tight around one point
+
+    def test_mixed_interleaves_query_types(self):
+        queries = mixed_queries(SPACE, 60, seed=5)
+        kinds = {type(query) for query in queries}
+        assert kinds == {WindowQuery, PointQuery}
+
+    def test_scan_rejects_empty(self):
+        with pytest.raises(ValueError):
+            scan_queries(SPACE, 0)
