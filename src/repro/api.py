@@ -40,6 +40,7 @@ if TYPE_CHECKING:
     from contextlib import AbstractContextManager
 
     from repro.obs.events import EventSink, TraceRecorder
+    from repro.server.admission import AdmissionController
     from repro.storage.page import Page, PageId
     from repro.wal.manager import DurabilityManager
 
@@ -56,6 +57,21 @@ _DURABILITY_KEYS = (
     "checkpoint_interval",
     "retry",
 )
+
+#: Keys accepted by ``admission=dict(...)``; forwarded to
+#: :class:`~repro.server.admission.AdmissionController`.
+_ADMISSION_KEYS = (
+    "max_inflight",
+    "max_queued",
+    "per_client_limit",
+    "queue_timeout",
+    "retry_hint_ms",
+)
+
+#: ``background_writeback=True`` cleans cold dirty frames every this many
+#: buffer requests (see ``flush_interval`` on
+#: :class:`~repro.wal.manager.DurabilityManager`).
+DEFAULT_WRITEBACK_INTERVAL = 64
 
 
 @dataclass
@@ -75,6 +91,7 @@ class BufferSystem:
     recorder: "TraceRecorder | None" = None
     durability: "DurabilityManager | None" = None
     tuner: object | None = None
+    admission: "AdmissionController | None" = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -93,6 +110,9 @@ class BufferSystem:
         policy_kwargs: Mapping | None = None,
         page_size: int = 4096,
         tuning: object | None = None,
+        coalescing: bool = True,
+        background_writeback: "bool | int | None" = None,
+        admission: "bool | Mapping | AdmissionController | None" = None,
     ) -> "BufferSystem":
         """Wire a complete buffer system in one call.
 
@@ -129,6 +149,35 @@ class BufferSystem:
             reference stream with ghost caches and may retune the live
             policy or hand the buffer to a better one (exposed as
             ``system.tuner``).
+        ``coalescing``
+            ``True`` (default) keeps per-shard miss coalescing: one disk
+            read per concurrent miss group, waiters served from the
+            loaded frame.  ``False`` removes the in-flight table, so
+            concurrent missers of the same page each pay their own
+            (duplicated) read.  Only meaningful for sharded builds —
+            the sequential core has no concurrent misses to coalesce,
+            so ``False`` there is rejected as a configuration error.
+        ``background_writeback``
+            ``None`` (default) leaves background cleaning to the
+            ``durability`` options — off unless ``flush_interval`` is
+            given, bit-identical to the pre-flag wiring.  ``True``
+            enables the background flusher at
+            :data:`DEFAULT_WRITEBACK_INTERVAL`; an integer sets the
+            interval directly; ``False``/``0`` forces it off.  Requires
+            durability (the flusher lives in the
+            :class:`~repro.wal.manager.DurabilityManager`) and refuses
+            to fight an explicit ``flush_interval`` in the durability
+            mapping.
+        ``admission``
+            ``None`` (default) attaches no admission control — the page
+            server builds its own controller exactly as before.
+            ``True`` attaches a default
+            :class:`~repro.server.admission.AdmissionController`; a
+            mapping forwards its keys (``max_inflight``, ``max_queued``,
+            ``per_client_limit``, ``queue_timeout``, ``retry_hint_ms``);
+            a ready controller is attached as-is.  Exposed as
+            ``system.admission`` and preferred by
+            :class:`~repro.server.PageServer` when present.
         """
         from repro.obs.events import TraceRecorder
 
@@ -144,6 +193,7 @@ class BufferSystem:
             observer = trace
 
         # --- durability -------------------------------------------------
+        durability = cls._apply_writeback(durability, background_writeback)
         durability_manager = cls._build_durability(durability, disk, page_size)
         if durability_manager is not None:
             disk = durability_manager.disk
@@ -188,6 +238,11 @@ class BufferSystem:
             )
 
         if shards is None:
+            if not coalescing:
+                raise ValueError(
+                    "coalescing=False needs a sharded build (shards=N); the "
+                    "sequential core has no concurrent misses to coalesce"
+                )
             buffer: BufferManager | ConcurrentBufferManager = BufferManager(
                 disk,
                 capacity,
@@ -203,6 +258,7 @@ class BufferSystem:
                 shards=shards,
                 observer=observer,
                 durability=durability_manager,
+                coalesce=coalescing,
             )
         # --- self-tuning -----------------------------------------------
         tuner = None
@@ -225,6 +281,11 @@ class BufferSystem:
             )
             tuner.attach_buffer(buffer, policy_name, policy_kwargs)
 
+        # --- admission control -------------------------------------------
+        admission_controller = cls._build_admission(
+            admission, getattr(buffer, "observer", observer)
+        )
+
         return cls(
             buffer=buffer,
             disk=disk,
@@ -233,6 +294,73 @@ class BufferSystem:
             recorder=recorder,
             durability=durability_manager,
             tuner=tuner,
+            admission=admission_controller,
+        )
+
+    @staticmethod
+    def _apply_writeback(
+        durability: "bool | Mapping | DurabilityManager | None",
+        background_writeback: "bool | int | None",
+    ) -> "bool | Mapping | DurabilityManager | None":
+        """Fold the ``background_writeback`` flag into the durability spec."""
+        if background_writeback is None:
+            return durability
+        if background_writeback is True:
+            interval = DEFAULT_WRITEBACK_INTERVAL
+        elif background_writeback is False:
+            interval = 0
+        else:
+            interval = int(background_writeback)
+            if interval < 0:
+                raise ValueError("background_writeback must be non-negative")
+        if durability is None or durability is False:
+            if interval:
+                raise ValueError(
+                    "background_writeback requires durability (the background "
+                    "flusher lives in the DurabilityManager); pass "
+                    "durability=True or a durability mapping"
+                )
+            return durability
+        if durability is True:
+            return {"flush_interval": interval}
+        if isinstance(durability, Mapping):
+            if "flush_interval" in durability:
+                raise ValueError(
+                    "pass either background_writeback= or a flush_interval "
+                    "in the durability mapping, not both"
+                )
+            merged = dict(durability)
+            merged["flush_interval"] = interval
+            return merged
+        raise ValueError(
+            "background_writeback cannot reconfigure a ready "
+            "DurabilityManager; set flush_interval on it directly"
+        )
+
+    @staticmethod
+    def _build_admission(
+        admission: "bool | Mapping | AdmissionController | None",
+        observer: "EventSink | None",
+    ) -> "AdmissionController | None":
+        if admission is None or admission is False:
+            return None
+        from repro.server.admission import AdmissionController
+
+        if isinstance(admission, AdmissionController):
+            return admission
+        if admission is True:
+            return AdmissionController(observer=observer)
+        if isinstance(admission, Mapping):
+            unknown = sorted(set(admission) - set(_ADMISSION_KEYS))
+            if unknown:
+                raise TypeError(
+                    f"unknown admission option(s) {unknown}; accepted: "
+                    + ", ".join(_ADMISSION_KEYS)
+                )
+            return AdmissionController(**dict(admission), observer=observer)
+        raise TypeError(
+            "admission must be None/True, a mapping of options, or an "
+            f"AdmissionController; got {type(admission).__name__}"
         )
 
     @staticmethod
@@ -326,6 +454,8 @@ class BufferSystem:
             snapshot = self.buffer.stats.snapshot()
         if self.tuner is not None:
             snapshot["tuning"] = self.tuner.snapshot()
+        if self.admission is not None:
+            snapshot["admission"] = self.admission.snapshot()
         return snapshot
 
     def commit(self) -> int:

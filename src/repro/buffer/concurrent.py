@@ -120,6 +120,7 @@ class ConcurrentBufferManager:
         shards: int = 4,
         observer: "EventSink | None" = None,
         durability: "DurabilityManager | None" = None,
+        coalesce: bool = True,
     ) -> None:
         from repro.obs.events import LockingSink
 
@@ -141,6 +142,11 @@ class ConcurrentBufferManager:
             )
         self.disk = disk
         self.capacity = capacity
+        #: Miss coalescing on/off.  Off means every concurrent misser of
+        #: the same page issues its own disk read (the classic duplicated
+        #: I/O the in-flight table exists to prevent) — kept as a switch
+        #: so the ablation harness can measure what coalescing saves.
+        self.coalesce = coalesce
         self._observer = LockingSink.wrapping(observer)
         #: Shared durability seam, if any (all shards feed one WAL; its
         #: internal lock always nests *inside* the shard locks).
@@ -230,6 +236,8 @@ class ConcurrentBufferManager:
         query_id = self._request_query_id()
         shard = self._shard(page_id)
         manager = shard.manager
+        if not self.coalesce:
+            return self._fetch_uncoalesced(shard, page_id, counters, query_id)
         first_attempt = True
         while True:
             with shard.lock:
@@ -277,6 +285,42 @@ class ConcurrentBufferManager:
             finally:
                 del shard.inflight[page_id]
                 entry.event.set()
+
+    def _fetch_uncoalesced(
+        self,
+        shard: _Shard,
+        page_id: PageId,
+        counters: _ThreadCounters,
+        query_id: int,
+    ) -> Page:
+        """The miss path with coalescing disabled: no in-flight table.
+
+        Every concurrent misser of the same page issues its own disk
+        read; whoever re-acquires the shard lock first installs the
+        frame, and the others' reads turn out to have been duplicated
+        I/O (visible as ``disk.stats.reads > stats.misses``).
+        """
+        manager = shard.manager
+        with shard.lock:
+            self._bind(manager, query_id)
+            manager.begin_request(page_id)
+            frame = manager.frames.get(page_id)
+            if frame is not None:
+                counters.hits += 1
+                return manager.serve_hit(frame)
+            manager.stats.misses += 1
+            counters.misses += 1
+        page = self.disk.read(page_id)
+        with shard.lock:
+            self._bind(manager, query_id)
+            frame = manager.frames.get(page_id)
+            if frame is not None:
+                # Another misser installed the page while we were reading:
+                # our read was the duplicate this mode exists to expose.
+                # Serve the resident copy; the request stays accounted as
+                # the miss that caused the read.
+                return frame.page
+            return manager.complete_miss(page)
 
     def install(self, page: Page) -> None:
         """Place a newly allocated page into its shard without a disk read."""

@@ -27,7 +27,13 @@ Four commands cover the common workflows without writing any code:
   ``RETRY_AFTER`` rejection under overload (writes ``BENCH_serve.json``);
 * ``bench tuning`` — phase-shifting workload scored per phase: static
   expert policies vs the self-tuning buffer (ghost caches + controller),
-  including the ghost wall-clock overhead (writes ``BENCH_tuning.json``).
+  including the ghost wall-clock overhead (writes ``BENCH_tuning.json``);
+* ``bench ablation`` — baseline-plus-one-off component matrix over
+  hostile + locality access-graph workloads, ranking each component by
+  measured importance (writes ``BENCH_ablation.json``);
+* ``bench check`` — the regression gate: validates the committed
+  ``BENCH_*.json`` reports and (with ``--candidate DIR``) fails on >10%
+  direction-aware metric regressions with a readable diff.
 
 Examples::
 
@@ -42,6 +48,8 @@ Examples::
     python -m repro bench wal --steps 4000 --out BENCH_wal.json
     python -m repro serve --port 7007 --policy ASB --shards 4
     python -m repro bench serve --clients 1,2,4,8 --out BENCH_serve.json
+    python -m repro bench ablation --workers 4 --out BENCH_ablation.json
+    python -m repro bench check --dir . --candidate /tmp/fresh
 """
 
 from __future__ import annotations
@@ -275,6 +283,48 @@ def _build_parser() -> argparse.ArgumentParser:
     wal.add_argument("--seed", type=int, default=7)
     wal.add_argument("--out", default=None,
                      help="also write the report as JSON to this path")
+    ablation = bench_commands.add_parser(
+        "ablation",
+        help="baseline-plus-one-off component matrix with importance ranking",
+    )
+    ablation.add_argument("--capacity", type=int, default=32,
+                          help="buffer frames")
+    ablation.add_argument("--shards", type=int, default=2)
+    ablation.add_argument("--workers", type=int, default=4,
+                          help="driver threads (1 = serial, deterministic)")
+    ablation.add_argument("--length", type=int, default=4_000,
+                          help="requests per workload reference string")
+    ablation.add_argument("--write-every", type=int, default=4,
+                          help="every Nth access is a page update")
+    ablation.add_argument("--commit-every", type=int, default=16,
+                          help="commit after every Nth access")
+    ablation.add_argument("--epoch", type=int, default=400,
+                          help="tuning epoch length in page accesses")
+    ablation.add_argument("--latency-us", type=float, default=20.0,
+                          help="simulated SSD read latency in microseconds")
+    ablation.add_argument("--start-policy", default="MRU",
+                          choices=sorted(POLICY_FACTORIES),
+                          help="deliberately naive live policy the tuner "
+                               "is expected to fix")
+    ablation.add_argument("--seed", type=int, default=7)
+    ablation.add_argument("--out", default="BENCH_ablation.json",
+                          help="output JSON path ('' = don't write)")
+    check = bench_commands.add_parser(
+        "check",
+        help="regression gate over the committed BENCH_*.json reports",
+    )
+    check.add_argument("--dir", default=".",
+                       help="directory holding the committed baseline "
+                            "BENCH_*.json reports")
+    check.add_argument("--candidate", default=None,
+                       help="directory of freshly generated reports to "
+                            "compare against the baseline (omit to only "
+                            "validate the committed reports)")
+    check.add_argument("--threshold", type=float, default=0.10,
+                       help="relative regression tolerance (0.10 = 10%%)")
+    check.add_argument("--include-timing", action="store_true",
+                       help="also gate wall-clock metrics (noisy; off by "
+                            "default)")
     return parser
 
 
@@ -551,7 +601,57 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _cmd_bench_serve(args)
     if args.bench_command == "tuning":
         return _cmd_bench_tuning(args)
+    if args.bench_command == "ablation":
+        return _cmd_bench_ablation(args)
+    if args.bench_command == "check":
+        return _cmd_bench_check(args)
     return _cmd_bench_concurrent(args)
+
+
+def _cmd_bench_ablation(args: argparse.Namespace) -> int:
+    from repro.experiments.ablation import AblationParams, run_ablation
+
+    params = AblationParams(
+        capacity=args.capacity,
+        shards=args.shards,
+        workers=args.workers,
+        length=args.length,
+        seed=args.seed,
+        write_every=args.write_every,
+        commit_every=args.commit_every,
+        epoch_length=args.epoch,
+        read_delay_us=args.latency_us,
+        start_policy=args.start_policy,
+    )
+    report = run_ablation(params)
+    print(report.to_text())
+    if args.out:
+        report.save(args.out)
+        print(f"wrote ablation report -> {args.out}")
+    verdict = report.acceptance()
+    ok = (
+        verdict["at_least_6_components"]
+        and verdict["accounting_identity_holds"]
+        and verdict["includes_hostile_workload"]
+    )
+    return 0 if ok else 1
+
+
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    from repro.experiments.benchcheck import BenchCheckError, check_directory
+
+    try:
+        result = check_directory(
+            bench_dir=args.dir,
+            candidate_dir=args.candidate,
+            threshold=args.threshold,
+            include_timing=args.include_timing,
+        )
+    except BenchCheckError as exc:
+        print(f"bench check: {exc}", file=sys.stderr)
+        return 2
+    print(result.to_text())
+    return 0 if result.ok else 1
 
 
 def _cmd_bench_tuning(args: argparse.Namespace) -> int:

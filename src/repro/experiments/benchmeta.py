@@ -36,8 +36,13 @@ def git_revision() -> str:
     return revision if output.returncode == 0 and revision else "unknown"
 
 
-def run_metadata(seed: int | None = None) -> dict:
-    """The shared ``meta`` block: schema, provenance, timestamp, seed."""
+def run_metadata(seed: int | None = None, run_id: str | None = None) -> dict:
+    """The shared ``meta`` block: schema, provenance, timestamp, seed.
+
+    ``run_id`` is an optional caller-chosen identifier for the run (the
+    ablation harness derives one deterministically from its configuration
+    digest, so re-runs of the same matrix are recognisable on disk).
+    """
     meta = {
         "schema_version": SCHEMA_VERSION,
         "git_rev": git_revision(),
@@ -47,4 +52,6 @@ def run_metadata(seed: int | None = None) -> dict:
     }
     if seed is not None:
         meta["seed"] = seed
+    if run_id is not None:
+        meta["run_id"] = run_id
     return meta

@@ -1,0 +1,250 @@
+"""Access-graph reference strings: adversarial and locality-structured.
+
+"Relative Interval Analysis of Paging Algorithms on Access Graphs"
+(PAPERS.md) studies paging when the reference string is constrained to
+walks on an *access graph*: consecutive requests must be joined by an
+edge.  Two graph families bracket the space a replacement policy must
+survive:
+
+* the **cycle** — the classic worst case.  A walk around a cycle of
+  ``capacity + 1`` nodes makes every demand-paged LRU/FIFO buffer miss on
+  *every* request (each page returns exactly one eviction too late),
+  while an optimal policy still hits on most of them.  This is the
+  hostile complement to the friendly phased workload
+  (:mod:`repro.workloads.phased`);
+* **clustered** graphs — dense local neighbourhoods joined by sparse
+  bridges.  A uniform random walk stays inside a cluster with
+  probability ``(size - 1) / size`` per step and occasionally migrates,
+  so the working set is small but *drifts* — structured locality that
+  rewards recency policies and gives the self-tuner seams to react to.
+
+Everything here is deterministic: the same ``(graph, length, seed)``
+yields the same string forever, and the golden-digest test pins the
+streams exactly as :mod:`repro.workloads.phased` pins its queries.
+Reference strings are flat page-id lists, so they drive any page
+accessor directly (``buffer.fetch(page_id)``) — no spatial index needed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+
+__all__ = [
+    "AccessGraph",
+    "ReferenceString",
+    "cycle_graph",
+    "clustered_graph",
+    "graph_walk",
+    "worst_case_cycle",
+    "adversarial_suite",
+]
+
+
+@dataclass(frozen=True)
+class AccessGraph:
+    """A directed access graph over integer page ids.
+
+    ``adjacency`` maps every node to its (non-empty) tuple of successors;
+    a reference string on the graph is a walk: every consecutive pair of
+    requests is an edge.  The constructor validates that every successor
+    is itself a node, so walks can never escape the declared universe.
+    """
+
+    name: str
+    adjacency: dict[int, tuple[int, ...]] = field(hash=False)
+
+    def __post_init__(self) -> None:
+        if not self.adjacency:
+            raise ValueError("an access graph needs at least one node")
+        nodes = set(self.adjacency)
+        for node, successors in self.adjacency.items():
+            if not successors:
+                raise ValueError(f"node {node} has no successors (walks would stall)")
+            missing = [succ for succ in successors if succ not in nodes]
+            if missing:
+                raise ValueError(
+                    f"node {node} has successors outside the graph: {missing}"
+                )
+
+    @property
+    def nodes(self) -> list[int]:
+        return sorted(self.adjacency)
+
+    def __len__(self) -> int:
+        return len(self.adjacency)
+
+    def successors(self, node: int) -> tuple[int, ...]:
+        return self.adjacency[node]
+
+    def has_edge(self, source: int, target: int) -> bool:
+        successors = self.adjacency.get(source)
+        return successors is not None and target in successors
+
+    def edge_count(self) -> int:
+        return sum(len(successors) for successors in self.adjacency.values())
+
+
+@dataclass(frozen=True)
+class ReferenceString:
+    """A walk on an access graph, ready to drive a buffer directly."""
+
+    name: str
+    graph: AccessGraph
+    pages: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.pages)
+
+    def __iter__(self):
+        return iter(self.pages)
+
+    def distinct_pages(self) -> int:
+        return len(set(self.pages))
+
+    def respects_graph(self) -> bool:
+        """Every consecutive pair is an edge (the access-graph contract)."""
+        return all(
+            self.graph.has_edge(a, b) for a, b in zip(self.pages, self.pages[1:])
+        )
+
+    def digest(self) -> str:
+        """SHA-256 over the page-id stream (golden-trace pinning)."""
+        blob = ",".join(str(page_id) for page_id in self.pages).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Graph families
+# ----------------------------------------------------------------------
+
+
+def cycle_graph(n: int, *, base: int = 0) -> AccessGraph:
+    """A directed cycle of ``n`` nodes starting at page id ``base``.
+
+    The deterministic walk around it is the canonical worst case: sized
+    one page past the buffer, it defeats every demand-paging recency
+    policy completely.
+    """
+    if n < 2:
+        raise ValueError("a cycle needs at least 2 nodes")
+    adjacency = {
+        base + index: (base + (index + 1) % n,) for index in range(n)
+    }
+    return AccessGraph(name=f"cycle-{n}", adjacency=adjacency)
+
+
+def clustered_graph(
+    clusters: int,
+    cluster_size: int,
+    *,
+    base: int = 0,
+) -> AccessGraph:
+    """Dense clusters on a ring, joined by one bridge edge per cluster.
+
+    Within a cluster every node points to every other (a complete
+    digraph); the last node of each cluster additionally points to the
+    first node of the next cluster (the ring of bridges).  A uniform
+    walk therefore stays local with probability ``(size - 1) / size``
+    per step and drifts clusterwise otherwise — locality with seams.
+    """
+    if clusters < 1:
+        raise ValueError("need at least one cluster")
+    if cluster_size < 2:
+        raise ValueError("clusters need at least 2 nodes (walks must move)")
+    adjacency: dict[int, tuple[int, ...]] = {}
+    for cluster in range(clusters):
+        start = base + cluster * cluster_size
+        members = list(range(start, start + cluster_size))
+        for node in members:
+            successors = [other for other in members if other != node]
+            if node == members[-1] and clusters > 1:
+                bridge = base + ((cluster + 1) % clusters) * cluster_size
+                successors.append(bridge)
+            adjacency[node] = tuple(successors)
+    return AccessGraph(
+        name=f"clustered-{clusters}x{cluster_size}", adjacency=adjacency
+    )
+
+
+# ----------------------------------------------------------------------
+# Walks
+# ----------------------------------------------------------------------
+
+
+def graph_walk(
+    graph: AccessGraph,
+    length: int,
+    seed: int = 0,
+    *,
+    start: int | None = None,
+    name: str | None = None,
+) -> ReferenceString:
+    """A seeded random walk of ``length`` requests on ``graph``.
+
+    The first request is ``start`` (default: the smallest node); each
+    subsequent request is drawn uniformly from the current node's
+    successors, so every consecutive pair is an edge by construction.
+    """
+    if length < 1:
+        raise ValueError("length must be positive")
+    node = graph.nodes[0] if start is None else start
+    if node not in graph.adjacency:
+        raise ValueError(f"start node {node} is not in the graph")
+    rng = random.Random(seed)
+    pages = [node]
+    for _ in range(length - 1):
+        node = rng.choice(graph.successors(node))
+        pages.append(node)
+    return ReferenceString(
+        name=name or f"walk({graph.name},seed={seed})",
+        graph=graph,
+        pages=tuple(pages),
+    )
+
+
+def worst_case_cycle(
+    capacity: int, length: int, *, base: int = 0
+) -> ReferenceString:
+    """The LRU-worst reference string for a buffer of ``capacity`` frames.
+
+    Walks a cycle of ``capacity + 1`` pages: each page is re-requested
+    exactly one eviction after LRU dropped it, so a demand-paged recency
+    buffer misses on every single request.
+    """
+    if capacity < 1:
+        raise ValueError("capacity must be positive")
+    graph = cycle_graph(capacity + 1, base=base)
+    # The cycle has one successor per node, so the walk is deterministic.
+    return graph_walk(graph, length, seed=0, name=f"cycle(cap={capacity})")
+
+
+def adversarial_suite(
+    capacity: int,
+    length: int,
+    seed: int = 0,
+    *,
+    clusters: int = 4,
+    cluster_size: int | None = None,
+) -> dict[str, ReferenceString]:
+    """The canonical hostile-plus-structured pair used by the ablation.
+
+    ``cycle``
+        the worst case sized against ``capacity`` (hostile: no policy
+        cleverness can help, robustness is measured by *not collapsing*);
+    ``clustered``
+        a locality walk whose working set (one cluster, sized about half
+        the buffer) fits comfortably but drifts across bridge seams.
+    """
+    if cluster_size is None:
+        cluster_size = max(2, capacity // 2)
+    return {
+        "cycle": worst_case_cycle(capacity, length),
+        "clustered": graph_walk(
+            clustered_graph(clusters, cluster_size, base=capacity + 1),
+            length,
+            seed=seed,
+            name="clustered",
+        ),
+    }

@@ -226,3 +226,146 @@ class TestBuildVariants:
         system.discard(3)
         assert 3 not in system.resident_ids()
         assert len(system) <= system.capacity
+
+
+class TestCoalescingFlag:
+    def test_default_keeps_coalescing_on(self):
+        system = BufferSystem.build(capacity=16, shards=4)
+        assert system.buffer.coalesce is True
+
+    def test_coalescing_off_is_wired_through(self):
+        system = BufferSystem.build(capacity=16, shards=4, coalescing=False)
+        assert system.buffer.coalesce is False
+
+    def test_coalescing_off_requires_shards(self):
+        """The sequential buffer has no in-flight table to disable."""
+        with pytest.raises(ValueError, match="sharded"):
+            BufferSystem.build(capacity=16, coalescing=False)
+
+    def test_uncoalesced_build_serves_pages(self):
+        durable = DurableDisk(page_size=PAGE_SIZE)
+        for page_id in range(8):
+            durable.store(make_page(page_id, payload=page_id))
+        system = BufferSystem.build(
+            disk=durable, capacity=4, shards=2, coalescing=False
+        )
+        for page_id in ACCESS_PATTERN:
+            system.fetch(page_id % 8)
+        stats = system.buffer.stats
+        assert stats.hits + stats.misses == stats.requests
+        assert system.buffer.coalesced_misses == 0
+
+
+class TestBackgroundWritebackFlag:
+    def test_default_leaves_flush_interval_alone(self):
+        system = BufferSystem.build(durability=True, page_size=PAGE_SIZE)
+        assert system.durability.flush_interval == 0
+
+    def test_true_uses_the_default_interval(self):
+        from repro.api import DEFAULT_WRITEBACK_INTERVAL
+
+        system = BufferSystem.build(
+            durability=True, background_writeback=True, page_size=PAGE_SIZE
+        )
+        assert system.durability.flush_interval == DEFAULT_WRITEBACK_INTERVAL
+
+    def test_integer_sets_the_interval(self):
+        system = BufferSystem.build(
+            durability={"group_window": 4},
+            background_writeback=16,
+            page_size=PAGE_SIZE,
+        )
+        assert system.durability.flush_interval == 16
+        assert system.durability.wal.group_window == 4
+
+    def test_false_disables_the_flusher(self):
+        system = BufferSystem.build(
+            durability=True, background_writeback=False, page_size=PAGE_SIZE
+        )
+        assert system.durability.flush_interval == 0
+
+    def test_requires_durability(self):
+        with pytest.raises(ValueError, match="requires durability"):
+            BufferSystem.build(background_writeback=True)
+
+    def test_false_without_durability_is_a_no_op(self):
+        system = BufferSystem.build(background_writeback=False)
+        assert system.durability is None
+
+    def test_rejects_double_specification(self):
+        with pytest.raises(ValueError, match="not both"):
+            BufferSystem.build(
+                durability={"flush_interval": 8},
+                background_writeback=16,
+                page_size=PAGE_SIZE,
+            )
+
+    def test_rejects_negative_interval(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            BufferSystem.build(
+                durability=True, background_writeback=-1, page_size=PAGE_SIZE
+            )
+
+    def test_rejects_ready_manager(self):
+        disk = DurableDisk(page_size=PAGE_SIZE)
+        manager = DurabilityManager(disk)
+        with pytest.raises(ValueError, match="ready"):
+            BufferSystem.build(
+                durability=manager, disk=disk, background_writeback=8
+            )
+
+
+class TestAdmissionFlag:
+    def test_default_attaches_no_controller(self):
+        assert BufferSystem.build().admission is None
+
+    def test_true_attaches_a_controller(self):
+        from repro.server.admission import AdmissionController
+
+        system = BufferSystem.build(admission=True)
+        assert isinstance(system.admission, AdmissionController)
+
+    def test_mapping_forwards_limits(self):
+        system = BufferSystem.build(
+            admission={"max_inflight": 3, "max_queued": 5}
+        )
+        assert system.admission.max_inflight == 3
+        assert system.admission.max_queued == 5
+
+    def test_mapping_rejects_unknown_keys(self):
+        with pytest.raises(TypeError, match="max_parallel"):
+            BufferSystem.build(admission={"max_parallel": 3})
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError, match="admission"):
+            BufferSystem.build(admission=7)
+
+    def test_ready_controller_is_adopted(self):
+        from repro.server.admission import AdmissionController
+
+        controller = AdmissionController(max_inflight=2)
+        system = BufferSystem.build(admission=controller)
+        assert system.admission is controller
+
+    def test_snapshot_includes_admission(self):
+        system = BufferSystem.build(admission=True)
+        assert "admission" in system.stats_snapshot()
+        assert "admission" not in BufferSystem.build().stats_snapshot()
+
+    def test_page_server_prefers_the_system_controller(self):
+        from repro.server.core import PageServer
+
+        system = BufferSystem.build(
+            capacity=16, shards=2, admission={"max_inflight": 3}
+        )
+        server = PageServer(system, max_inflight=99)
+        assert server.admission is system.admission
+        assert server.admission.max_inflight == 3
+
+    def test_page_server_builds_its_own_without_one(self):
+        from repro.server.core import PageServer
+
+        system = BufferSystem.build(capacity=16, shards=2)
+        server = PageServer(system, max_inflight=99)
+        assert server.admission is not None
+        assert server.admission.max_inflight == 99

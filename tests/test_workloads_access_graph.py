@@ -1,0 +1,162 @@
+"""Tests of the access-graph workload generator.
+
+The ablation matrix leans on these reference strings, so three things
+are non-negotiable: every string is a *walk* (consecutive requests are
+edges — the access-graph contract), generation is deterministic (golden
+digests pin the exact streams), and the worst-case cycle actually is
+the worst case (a demand-paged LRU buffer misses on every request).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buffer.manager import BufferManager
+from repro.buffer.policies import make_policy
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import Page, PageType
+from repro.workloads.access_graph import (
+    AccessGraph,
+    adversarial_suite,
+    clustered_graph,
+    cycle_graph,
+    graph_walk,
+    worst_case_cycle,
+)
+
+#: SHA-256 over the page-id stream of ``worst_case_cycle(8, 100)``.
+#: Changing the generators invalidates every recorded ablation run, so
+#: a digest change must be deliberate: update it in the same commit and
+#: say why.
+GOLDEN_CYCLE_DIGEST = (
+    "c6c4290cc1605a6e20e36968dd771c56a874c92b1e2f5787b790c5f53253b88f"
+)
+#: SHA-256 over ``graph_walk(clustered_graph(3, 4), 200, seed=3)``.
+GOLDEN_CLUSTERED_DIGEST = (
+    "87397f44d16af772a4390698b350e104141708f294f73779479e5da4362ae5d7"
+)
+
+
+class TestAccessGraph:
+    def test_validates_empty_graph(self):
+        with pytest.raises(ValueError, match="at least one node"):
+            AccessGraph(name="empty", adjacency={})
+
+    def test_validates_stalling_node(self):
+        with pytest.raises(ValueError, match="no successors"):
+            AccessGraph(name="stall", adjacency={0: (1,), 1: ()})
+
+    def test_validates_escaping_edge(self):
+        with pytest.raises(ValueError, match="outside the graph"):
+            AccessGraph(name="escape", adjacency={0: (99,)})
+
+    def test_cycle_graph_shape(self):
+        graph = cycle_graph(5, base=10)
+        assert graph.nodes == [10, 11, 12, 13, 14]
+        assert graph.edge_count() == 5
+        assert graph.has_edge(14, 10)
+        assert not graph.has_edge(10, 12)
+
+    def test_clustered_graph_shape(self):
+        graph = clustered_graph(3, 4)
+        assert len(graph) == 12
+        # Complete digraph inside each cluster + one bridge per cluster.
+        assert graph.edge_count() == 3 * 4 * 3 + 3
+        assert graph.has_edge(3, 4)  # bridge: cluster 0 -> cluster 1
+        assert graph.has_edge(11, 0)  # ring closes: cluster 2 -> cluster 0
+
+    def test_single_cluster_has_no_bridge(self):
+        graph = clustered_graph(1, 3)
+        assert graph.edge_count() == 3 * 2
+
+
+class TestGraphWalk:
+    def test_golden_digests(self):
+        assert worst_case_cycle(8, 100).digest() == GOLDEN_CYCLE_DIGEST
+        walk = graph_walk(clustered_graph(3, 4), 200, seed=3)
+        assert walk.digest() == GOLDEN_CLUSTERED_DIGEST
+
+    def test_deterministic_per_seed(self):
+        graph = clustered_graph(4, 4)
+        one = graph_walk(graph, 150, seed=5)
+        two = graph_walk(graph, 150, seed=5)
+        other = graph_walk(graph, 150, seed=6)
+        assert one.pages == two.pages
+        assert one.pages != other.pages
+
+    def test_rejects_bad_start(self):
+        with pytest.raises(ValueError, match="not in the graph"):
+            graph_walk(cycle_graph(3), 10, start=99)
+
+    def test_rejects_empty_walk(self):
+        with pytest.raises(ValueError, match="length must be positive"):
+            graph_walk(cycle_graph(3), 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        clusters=st.integers(min_value=1, max_value=5),
+        cluster_size=st.integers(min_value=2, max_value=6),
+        length=st.integers(min_value=1, max_value=300),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_walk_properties(self, clusters, cluster_size, length, seed):
+        """Requested length, and every consecutive pair is an edge."""
+        graph = clustered_graph(clusters, cluster_size)
+        walk = graph_walk(graph, length, seed=seed)
+        assert len(walk) == length
+        assert walk.respects_graph()
+        assert all(page in graph.adjacency for page in walk)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=40),
+        length=st.integers(min_value=1, max_value=200),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_cycle_walk_is_the_deterministic_tour(self, n, length, seed):
+        """A cycle has one successor per node: the seed cannot matter."""
+        graph = cycle_graph(n)
+        walk = graph_walk(graph, length, seed=seed)
+        assert walk.respects_graph()
+        assert list(walk) == [index % n for index in range(length)]
+
+
+class TestAdversarialSuite:
+    def test_contains_hostile_and_structured(self):
+        suite = adversarial_suite(8, 120, seed=7)
+        assert set(suite) == {"cycle", "clustered"}
+        for reference in suite.values():
+            assert len(reference) == 120
+            assert reference.respects_graph()
+
+    def test_page_universes_are_disjoint(self):
+        suite = adversarial_suite(8, 50, seed=1)
+        cycle_pages = set(suite["cycle"].graph.nodes)
+        clustered_pages = set(suite["clustered"].graph.nodes)
+        assert not cycle_pages & clustered_pages
+
+    def test_suite_digests_pinned(self):
+        suite = adversarial_suite(8, 120, seed=7)
+        assert suite["cycle"].digest() == (
+            "f053fa9a445c19c1b48cc1cac7988d86736628d320569e1a8297757eb11e2027"
+        )
+        assert suite["clustered"].digest() == (
+            "18ee2084463cde7ea9c120027e975df072cc13d1be08582c6efb764ebf8d1f2a"
+        )
+
+    def test_worst_case_defeats_lru_completely(self):
+        """The advertised property: zero hits at the sized capacity."""
+        capacity = 6
+        reference = worst_case_cycle(capacity, 100)
+        disk = SimulatedDisk()
+        for page_id in reference.graph.nodes:
+            disk.write(Page(page_id=page_id, page_type=PageType.DATA))
+        buffer = BufferManager(
+            capacity=capacity, policy=make_policy("LRU"), disk=disk
+        )
+        for page_id in reference:
+            buffer.fetch(page_id)
+        assert buffer.stats.hits == 0
+        assert buffer.stats.misses == len(reference)
