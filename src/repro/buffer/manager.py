@@ -14,6 +14,15 @@ division of labour follows the paper:
 
 All timestamps are logical (one tick per page request); no wall clock is
 involved anywhere, so runs are deterministic and replayable.
+
+Hot path.  Resident frames live in a :class:`~repro.buffer.frames.FrameTable`
+(slot pool + intrusive recency chain), and ``fetch`` is *rebound per
+instance*: while no observer, durability seam or tuning tap is attached and
+the active policy inherits the base no-op ``on_hit``, requests run through
+:meth:`_fetch_fast` — one dict probe, inline accounting, O(1) chain surgery,
+zero hook calls.  Attaching any seam (they are properties) swaps the plain
+decomposed path back in, so the observable behaviour is bit-identical either
+way; the seams just stop being free to *check* and start being used.
 """
 
 from __future__ import annotations
@@ -21,7 +30,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Iterator
 
-from repro.buffer.frames import Frame
+from repro.buffer.frames import Frame, FrameTable
 from repro.buffer.stats import BufferStats
 from repro.storage.disk import SimulatedDisk
 from repro.storage.page import Page, PageId
@@ -58,42 +67,276 @@ class BufferManager:
             raise ValueError("buffer capacity must be at least 1")
         self.disk = disk
         self.capacity = capacity
-        self.policy = policy
-        self.frames: dict[PageId, Frame] = {}
-        self.stats = BufferStats()
-        #: Optional event sink (see :mod:`repro.obs`).  ``None`` means every
-        #: emission site reduces to one attribute check — tracing costs
-        #: nothing unless someone listens.
-        self.observer = observer
-        #: Optional durability seam (see :mod:`repro.wal.manager`).  Like
-        #: the observer, ``None`` reduces every hook site to one attribute
-        #: check, keeping the undurable core bit-identical.
-        self.durability = durability
-        #: Optional self-tuning tap (see :mod:`repro.tuning`): an object
-        #: with ``on_access(manager, frame, hit)``, called after every
-        #: served request so ghost caches can shadow the live reference
-        #: stream.  ``None`` reduces both tap sites to one attribute
-        #: check — tuning disabled costs nothing and stays bit-identical.
-        self.tuner: "object | None" = None
+        self.frames: FrameTable = FrameTable()
+        self._stats = BufferStats()
+        #: Deferred fast-path hits (see :meth:`_flush_log`): frames in
+        #: access order, possibly repeating.  Only the seam-free, hook-less
+        #: fast path appends here; everything observable is materialised
+        #: before any reader can look.
+        self._hit_log: list[Frame] = []
+        self._policy = policy
+        self._observer = observer
+        self._durability = durability
+        self._tuner: "object | None" = None
+        self._hit_hook = None
         self._clock = 0
         self._query_id = 0
         self._in_query = False
         self._pinned_frames = 0
         policy.attach(self)
+        self._refresh_fast_path()
+
+    # ------------------------------------------------------------------
+    # Seams: every one is a property so that attaching or detaching it
+    # re-decides whether the inlined fast path may serve requests.
+    # ------------------------------------------------------------------
+
+    @property
+    def policy(self) -> "ReplacementPolicy":
+        """The active replacement policy (swap via :meth:`switch_policy`)."""
+        return self._policy
+
+    @policy.setter
+    def policy(self, policy: "ReplacementPolicy") -> None:
+        self._policy = policy
+        self._refresh_fast_path()
+
+    @property
+    def observer(self) -> "EventSink | None":
+        """Optional event sink (see :mod:`repro.obs`).  ``None`` means every
+        emission site reduces to one attribute check — tracing costs
+        nothing unless someone listens."""
+        return self._observer
+
+    @observer.setter
+    def observer(self, sink: "EventSink | None") -> None:
+        self._observer = sink
+        self._refresh_fast_path()
+
+    @property
+    def durability(self) -> "DurabilityManager | None":
+        """Optional durability seam (see :mod:`repro.wal.manager`).  Like
+        the observer, ``None`` reduces every hook site to one attribute
+        check, keeping the undurable core bit-identical."""
+        return self._durability
+
+    @durability.setter
+    def durability(self, durability: "DurabilityManager | None") -> None:
+        self._durability = durability
+        self._refresh_fast_path()
+
+    @property
+    def tuner(self) -> "object | None":
+        """Optional self-tuning tap (see :mod:`repro.tuning`): an object
+        with ``on_access(manager, frame, hit)``, called after every served
+        request so ghost caches can shadow the live reference stream.
+        ``None`` costs nothing and stays bit-identical."""
+        return self._tuner
+
+    @tuner.setter
+    def tuner(self, tuner: "object | None") -> None:
+        self._tuner = tuner
+        self._refresh_fast_path()
+
+    def _refresh_fast_path(self) -> None:
+        """Rebind ``fetch`` to an inlined fast path iff no seam is live.
+
+        The fast path assumes: no observer to emit to, no durability tick,
+        no tuning tap.  The policy's ``on_hit`` is *elided* (not called at
+        all) when the policy inherits the base no-op — checked by identity
+        against :class:`~repro.buffer.policies.base.ReplacementPolicy`, so
+        a policy that overrides the hook always receives it.
+
+        The path is built as a closure so the frame table, its bound
+        ``get``, the stats object and the hook are free variables instead
+        of per-request attribute lookups.  All of them are stable for the
+        life of the manager (``clear()`` resets them in place); anything
+        that can change — policy, seams — rebuilds the closure through the
+        property setters.
+        """
+        from repro.buffer.policies.base import ReplacementPolicy
+
+        table = self.frames
+        if table.pending or table.log:
+            # Retire every deferral under the *old* regime before the
+            # rules change.
+            table.flush_hook()
+        policy = self._policy
+        if type(policy).on_hit is ReplacementPolicy.on_hit:
+            hook = None
+        else:
+            hook = policy.on_hit
+        self._hit_hook = hook
+        if (
+            self._observer is not None
+            or self._durability is not None
+            or self._tuner is not None
+        ):
+            # Fall back to the class-level decomposed fetch; the only
+            # deferral left is the chain-only splice from serve_hit.
+            table.log = ()
+            table.flush_hook = table._flush_pending
+            self.__dict__.pop("fetch", None)
+            return
+
+        mgr = self
+        get = table.get
+        stats = self._stats
+        miss = self._fetch_fast_miss
+        length = len
+        limit = table.PENDING_LIMIT
+
+        if hook is None:
+            # Fully deferred variant: a hit outside a query scope is one
+            # probe and one list append; clock, stats, stamps and the
+            # chain splice are materialised in batch by _flush_log before
+            # anything can read them.  In-scope hits stay eager because
+            # their stamp must equal the live query id.
+            log = self._hit_log
+            log_append = log.append
+            flush_log = self._flush_log
+            splice = table._splice_to_tail
+
+            def fetch_fast(page_id: PageId) -> Page:
+                """Seam-free ``fetch``, policy hook elided, hit deferred."""
+                frame = get(page_id)
+                if frame is None:
+                    return miss(page_id)
+                if mgr._in_query:
+                    if log:
+                        flush_log()
+                    mgr._clock = clock = mgr._clock + 1
+                    stats.requests += 1
+                    stats.hits += 1
+                    frame.last_access = clock
+                    frame.last_query = mgr._query_id
+                    frame.access_count += 1
+                    splice(frame)
+                    return frame.page
+                frame.access_count += 1
+                log_append(frame)
+                if length(log) >= limit:
+                    flush_log()
+                return frame.page
+
+            table.log = log
+            table.flush_hook = flush_log
+        else:
+            # Hook variant: everything is eager except the chain splice,
+            # which is a deferred append (see FrameTable.move_to_tail).
+            # Outside a query scope the query counter advances per request
+            # exactly like begin_request does — hook policies (LRU-K) read
+            # it directly.
+            pending = table.pending
+            pend = pending.append
+            flush = table._flush_pending
+
+            def fetch_fast(page_id: PageId) -> Page:
+                """Seam-free ``fetch`` with the policy's ``on_hit``.
+
+                The hook runs *before* the timestamp renewal and the
+                recency append — ASB reads the pre-renewal recency (its
+                chain walks enter through the flushing ``head`` property,
+                so deferred renewals of earlier requests are applied, and
+                this request's own renewal is not yet pending).
+                """
+                frame = get(page_id)
+                if frame is None:
+                    return miss(page_id)
+                mgr._clock = clock = mgr._clock + 1
+                stats.requests += 1
+                stats.hits += 1
+                if mgr._in_query:
+                    query_id = mgr._query_id
+                else:
+                    mgr._query_id = query_id = mgr._query_id + 1
+                hook(frame, frame.last_query == query_id)
+                frame.last_access = clock
+                frame.last_query = query_id
+                frame.access_count += 1
+                pend(frame)
+                if length(pending) >= limit:
+                    flush()
+                return frame.page
+
+            table.log = ()
+            table.flush_hook = flush
+
+        self.fetch = fetch_fast  # type: ignore[method-assign]
 
     # ------------------------------------------------------------------
     # Logical time and query correlation
     # ------------------------------------------------------------------
 
     @property
+    def stats(self) -> BufferStats:
+        """Hit/miss accounting; reading it materialises deferred hits."""
+        if self._hit_log:
+            self._flush_log()
+        return self._stats
+
+    @property
     def clock(self) -> int:
         """The logical access counter (one tick per request)."""
+        if self._hit_log:
+            self._flush_log()
         return self._clock
 
     @property
     def current_query(self) -> int:
         """Id of the running query; accesses sharing it are correlated."""
         return self._query_id
+
+    def _flush_log(self) -> None:
+        """Materialise the deferred fast-path hits in one batch.
+
+        The hook-less fast path logs a hit as a single list append; this
+        replay applies everything those hits deferred — clock ticks,
+        request/hit counts, frame stamps, recency splices — so that *no
+        reader can tell* the work was batched:
+
+        * the clock advances by exactly the number of logged hits;
+        * each frame's final ``last_access`` is unique, falls inside the
+          logged tick range, and preserves the true last-access order
+          across all frames (logged or not) — every consumer of
+          ``last_access`` orders or tie-breaks by it, none depends on the
+          exact tick, which may differ from the eager assignment when a
+          frame was hit more than once;
+        * ``last_query`` gets the negated stamp: negative and unique, it
+          can never equal a real (positive) query id, which is all the
+          correlation checks observe — exactly the eager fast path's rule.
+
+        ``access_count`` is *not* deferred — the fast path increments it
+        inline (one slot write), so the replay is a single C pass over the
+        log plus work per *unique* frame.
+
+        Chain-only renewals in ``frames.pending`` (decomposed drivers,
+        in-scope eager hits) predate the logged hits and are spliced
+        first.
+        """
+        table = self.frames
+        if table.pending:
+            table._flush_pending()
+        log = self._hit_log
+        count = len(log)
+        if not count:
+            return
+        stats = self._stats
+        stats.requests += count
+        stats.hits += count
+        self._clock = stamp = self._clock + count
+        newest_first = dict.fromkeys(reversed(log))
+        del log[:]
+        ordered: list[Frame] = []
+        append = ordered.append
+        for frame in newest_first:
+            frame.last_access = stamp
+            frame.last_query = -stamp
+            stamp -= 1
+            append(frame)
+        splice = table._splice_to_tail
+        for frame in reversed(ordered):
+            splice(frame)
 
     @contextmanager
     def query_scope(self) -> Iterator[int]:
@@ -122,7 +365,9 @@ class BufferManager:
         :meth:`complete_miss` — are exposed separately so that wrappers
         (the concurrent buffer service) can interleave their own logic
         (lock hand-off, miss coalescing) between them while reusing the
-        single-threaded core unchanged.
+        single-threaded core unchanged.  When no seam is attached the
+        instance serves requests through :meth:`_fetch_fast` instead,
+        with bit-identical results.
         """
         self.begin_request(page_id)
         frame = self.frames.get(page_id)
@@ -132,15 +377,27 @@ class BufferManager:
         page = self.disk.read(page_id)
         return self.complete_miss(page)
 
+    def _fetch_fast_miss(self, page_id: PageId) -> Page:
+        # No state was touched yet for this request: run the classic miss
+        # sequence (the seams are known-None, so it stays cheap).
+        self.begin_request(page_id)
+        self.stats.misses += 1
+        page = self.disk.read(page_id)
+        return self.complete_miss(page)
+
     def begin_request(self, page_id: PageId) -> None:
         """Step 1 of a request: advance the clock, count it, emit ``fetch``."""
+        if self._hit_log:
+            # Deferred fast-path hits precede this request; materialise
+            # them so this request's clock tick lands after theirs.
+            self._flush_log()
         self._clock += 1
-        self.stats.requests += 1
+        self._stats.requests += 1
         if not self._in_query:
             # Requests outside any query scope get a fresh query id each, so
             # they are never correlated with one another.
             self._query_id += 1
-        observer = self.observer
+        observer = self._observer
         if observer is not None:
             observer.emit(
                 BufferEvent(
@@ -150,7 +407,7 @@ class BufferManager:
                     query=self._query_id,
                 )
             )
-        durability = self.durability
+        durability = self._durability
         if durability is not None:
             durability.tick(self)
 
@@ -158,7 +415,7 @@ class BufferManager:
         """Step 2a: the page is resident — account the hit and serve it."""
         self.stats.hits += 1
         correlated = frame.last_query == self._query_id
-        observer = self.observer
+        observer = self._observer
         if observer is not None:
             observer.emit(
                 BufferEvent(
@@ -173,9 +430,10 @@ class BufferManager:
         # The policy hook runs before the timestamp renewal so policies
         # can still see the page's recency as of *before* this access
         # (ASB's LRU-criterion comparison relies on that).
-        self.policy.on_hit(frame, correlated)
+        self._policy.on_hit(frame, correlated)
         frame.touch(self._clock, self._query_id)
-        tuner = self.tuner
+        self.frames.move_to_tail(frame)
+        tuner = self._tuner
         if tuner is not None:
             tuner.on_access(self, frame, True)
         return frame.page
@@ -187,7 +445,7 @@ class BufferManager:
         the disk read (as :meth:`fetch` does), so a failed read still counts
         as the miss that caused it.
         """
-        observer = self.observer
+        observer = self._observer
         if observer is not None:
             observer.emit(
                 BufferEvent(
@@ -199,7 +457,7 @@ class BufferManager:
                 )
             )
         frame = self._admit(page)
-        tuner = self.tuner
+        tuner = self._tuner
         if tuner is not None:
             tuner.on_access(self, frame, False)
         return frame.page
@@ -208,14 +466,8 @@ class BufferManager:
         """Place a freshly read page into a frame, evicting if needed."""
         if len(self.frames) >= self.capacity:
             self._evict_one()
-        frame = Frame(
-            page=page,
-            loaded_at=self._clock,
-            last_access=self._clock,
-            last_query=self._query_id,
-        )
-        self.frames[page.page_id] = frame
-        self.policy.on_load(frame)
+        frame = self.frames.admit(page, self._clock, self._query_id)
+        self._policy.on_load(frame)
         return frame
 
     def _evict_one(self) -> None:
@@ -231,7 +483,7 @@ class BufferManager:
                 f"all {len(self.frames)} resident pages are pinned; "
                 "cannot evict to make room"
             )
-        victim_id = self.policy.select_victim()
+        victim_id = self._policy.select_victim()
         frame = self.frames.get(victim_id)
         if frame is None:
             raise RuntimeError(
@@ -246,9 +498,9 @@ class BufferManager:
         # dirty; capture that before the write-back cleans the flag.
         was_dirty = frame.dirty
         self.writeback_frame(frame)
-        del self.frames[frame.page_id]
+        self.frames.remove(frame.page_id)
         self.stats.evictions += 1
-        observer = self.observer
+        observer = self._observer
         if observer is not None:
             observer.emit(
                 BufferEvent(
@@ -259,7 +511,7 @@ class BufferManager:
                     age=self._clock - frame.loaded_at,
                 )
             )
-        self.policy.on_evict(frame)
+        self._policy.on_evict(frame)
 
     def writeback_frame(self, frame: Frame, disk: object | None = None) -> None:
         """Write one dirty frame back and mark it clean; no-op when clean.
@@ -272,13 +524,13 @@ class BufferManager:
         """
         if not frame.dirty:
             return
-        durability = self.durability
+        durability = self._durability
         if durability is not None:
             durability.before_writeback(frame.page_id)
         (disk if disk is not None else self.disk).write(frame.page)
         frame.dirty = False
         self.stats.writebacks += 1
-        observer = self.observer
+        observer = self._observer
         if observer is not None:
             observer.emit(
                 BufferEvent(
@@ -295,13 +547,15 @@ class BufferManager:
         If the id is already resident (an id reused after :meth:`discard`),
         the frame is replaced.
         """
+        if self._hit_log:
+            self._flush_log()
         self._clock += 1
         existing = self.frames.get(page.page_id)
         if existing is not None:
             self.discard(page.page_id)
         frame = self._admit(page)
         frame.dirty = True
-        durability = self.durability
+        durability = self._durability
         if durability is not None:
             durability.on_page_update(frame.page)
 
@@ -319,10 +573,10 @@ class BufferManager:
             return
         if frame.pinned:
             raise RuntimeError(f"cannot discard pinned page {page_id}")
-        del self.frames[page_id]
+        self.frames.remove(page_id)
         self.stats.evictions += 1
-        if self.observer is not None:
-            self.observer.emit(
+        if self._observer is not None:
+            self._observer.emit(
                 BufferEvent(
                     kind="evict",
                     clock=self._clock,
@@ -331,7 +585,7 @@ class BufferManager:
                     age=self._clock - frame.loaded_at,
                 )
             )
-        self.policy.on_evict(frame)
+        self._policy.on_evict(frame)
 
     # ------------------------------------------------------------------
     # Pinning and dirtying
@@ -394,7 +648,7 @@ class BufferManager:
         frame = self._frame_or_raise(page_id)
         frame.dirty = True
         frame.invalidate_criteria()
-        durability = self.durability
+        durability = self._durability
         if durability is not None:
             durability.on_page_update(frame.page)
 
@@ -420,12 +674,16 @@ class BufferManager:
         requests`` holds across the switch.  Returns the replaced policy
         (now detached from duty but still bound to this buffer for
         introspection).
+
+        The resident frames are handed over straight off the recency
+        chain, which is already ordered oldest-access first — the
+        migration costs O(1) per resident page, no sorting.
         """
-        old = self.policy
+        old = self._policy
         if policy is old:
             return old
         policy.attach(self)
-        policy.seed_resident(list(self.frames.values()))
+        policy.seed_resident(list(self.frames.iter_recency()))
         self.policy = policy
         return old
 
@@ -446,7 +704,7 @@ class BufferManager:
         CHECKPOINT record) and syncs the log; without one it is a plain
         :meth:`flush`.
         """
-        durability = self.durability
+        durability = self._durability
         if durability is not None:
             durability.checkpoint(self)
             durability.sync()
@@ -466,6 +724,10 @@ class BufferManager:
         the clear proceeds — only safe when the caller knows every pin
         holder is gone (e.g. tearing down an experiment).
         """
+        if self._hit_log:
+            # The deferred hits happened; their clock ticks must survive
+            # the clear (which resets stats, not the clock).
+            self._flush_log()
         if self._pinned_frames > 0:
             if not force:
                 raise BufferFullError(
@@ -486,10 +748,10 @@ class BufferManager:
                 frame.pin_count = 0
         self.flush()
         for frame in list(self.frames.values()):
-            self.policy.on_evict(frame)
+            self._policy.on_evict(frame)
         self.frames.clear()
         self._pinned_frames = 0
-        self.policy.reset()
+        self._policy.reset()
         self.stats.reset()
 
     def contains(self, page_id: PageId) -> bool:

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
-from repro.buffer.frames import Frame
+from repro.buffer.frames import Frame, FrameTable
 from repro.buffer.manager import BufferFullError, BufferManager
 from repro.buffer.policies.base import ReplacementPolicy, deprecated_keyword
 from repro.buffer.policies.spatial import SPATIAL_CRITERIA, spatial_criterion
@@ -77,9 +77,12 @@ class ASB(ReplacementPolicy):
         self.step_fraction = step_fraction
         self.record_trace = record_trace
         self.name = "ASB"
-        # Page-id membership of the two buffer parts.  The overflow dict is
-        # ordered oldest-first, i.e. FIFO order.
-        self._main: set[PageId] = set()
+        # Membership of the two buffer parts.  The main part is a set of
+        # *frames* (identity-hashed — one pointer probe on the victim
+        # walk); the overflow dict is page-id keyed and ordered
+        # oldest-first, i.e. FIFO order.  A frame object can never linger:
+        # ``on_evict`` always runs before the manager recycles a frame.
+        self._main: set[Frame] = set()
         self._overflow: OrderedDict[PageId, None] = OrderedDict()
         self._candidate_size = 1
         self._step = 1
@@ -126,7 +129,7 @@ class ASB(ReplacementPolicy):
         """A new page enters the main part, demoting a main page if full."""
         if len(self._main) >= self.main_capacity:
             self._demote_main_victim()
-        self._main.add(frame.page_id)
+        self._main.add(frame)
 
     def on_hit(self, frame: Frame, correlated: bool) -> None:
         """Promote overflow hits back to the main part, adapting the knob.
@@ -136,13 +139,17 @@ class ASB(ReplacementPolicy):
         recency while it sat in the overflow buffer — which is what the
         LRU-criterion comparison needs.
         """
-        if frame.page_id not in self._overflow:
+        # ``frame.page.page_id`` dodges the property descriptor — this is
+        # the only ASB work on the non-promoting hit path, so it must stay
+        # one set probe.
+        page_id = frame.page.page_id
+        if page_id not in self._overflow:
             return
         self._adapt(frame)
-        del self._overflow[frame.page_id]
+        del self._overflow[page_id]
         if len(self._main) >= self.main_capacity:
             self._demote_main_victim()
-        self._main.add(frame.page_id)
+        self._main.add(frame)
         observer = self.observer
         if observer is not None:
             observer.emit(
@@ -154,7 +161,7 @@ class ASB(ReplacementPolicy):
             )
 
     def on_evict(self, frame: Frame) -> None:
-        self._main.discard(frame.page_id)
+        self._main.discard(frame)
         self._overflow.pop(frame.page_id, None)
 
     def reset(self) -> None:
@@ -203,16 +210,26 @@ class ASB(ReplacementPolicy):
 
     def _adapt(self, promoted: Frame) -> None:
         """Compare the two criteria on the overflow pages (Section 4.2)."""
-        frames = self.buffer.frames
-        crit_p = spatial_criterion(promoted, self.criterion)
+        # ``frames.get`` is the raw (non-flushing) lookup: this loop reads
+        # only frame fields, which are always current — the deferred state
+        # of the recency chain is irrelevant here.
+        lookup = self.buffer.frames.get
+        criterion = self.criterion
+        crit_p = spatial_criterion(promoted, criterion)
         recency_p = promoted.last_access
+        promoted_id = promoted.page.page_id
         better_spatial = 0
         better_lru = 0
         for page_id in self._overflow:
-            if page_id == promoted.page_id:
+            if page_id == promoted_id:
                 continue
-            other = frames[page_id]
-            if spatial_criterion(other, self.criterion) > crit_p:
+            other = lookup(page_id)
+            # Inline cache probe: every overflow page is judged on each
+            # promotion, so the criterion call must not dominate the hit.
+            value = other.crit_cache.get(criterion)
+            if value is None:
+                value = spatial_criterion(other, criterion)
+            if value > crit_p:
                 better_spatial += 1
             if other.last_access > recency_p:
                 better_lru += 1
@@ -244,27 +261,54 @@ class ASB(ReplacementPolicy):
     # ------------------------------------------------------------------
 
     def _main_frames(self) -> list[Frame]:
+        return [frame for frame in self._main if frame.pin_count == 0]
+
+    def _main_victim(self) -> Frame | None:
+        """The SLRU victim of the main part, or ``None`` if all pinned.
+
+        On the slot core the ``candidate_size`` least-recently-used main
+        pages are the first unpinned main frames off the recency chain's
+        LRU head — the chain is ordered by last access, so the walk gives
+        the same candidate prefix (in the same order) as sorting the main
+        part by recency and truncating, without the O(n log n) sort.
+        """
         frames = self.buffer.frames
-        return [
-            frames[page_id]
-            for page_id in self._main
-            if not frames[page_id].pinned
-        ]
+        criterion = self.criterion
+        if isinstance(frames, FrameTable):
+            main = self._main
+            count = self._candidate_size
+            frame = frames.head
+            victim: Frame | None = None
+            best = 0.0
+            while frame is not None and count > 0:
+                if frame in main and frame.pin_count == 0:
+                    count -= 1
+                    value = frame.crit_cache.get(criterion)
+                    if value is None:
+                        value = spatial_criterion(frame, criterion)
+                    if victim is None or value < best:
+                        victim = frame
+                        best = value
+                frame = frame.lru_next
+            return victim
+        candidates = self._main_frames()
+        if not candidates:
+            return None
+        candidates.sort(key=lambda frame: frame.last_access)
+        del candidates[self._candidate_size :]
+        return min(
+            candidates, key=lambda frame: spatial_criterion(frame, criterion)
+        )
 
     def _demote_main_victim(self) -> None:
         """Move the SLRU victim of the main part into the overflow buffer."""
-        candidates = self._main_frames()
-        if not candidates:
+        victim = self._main_victim()
+        if victim is None:
             # Every main page is pinned; let the main part exceed its
             # nominal share rather than evicting a pinned page.
             return
-        candidates.sort(key=lambda frame: frame.last_access)
-        del candidates[self._candidate_size :]
-        victim = min(
-            candidates, key=lambda frame: spatial_criterion(frame, self.criterion)
-        )
-        self._main.discard(victim.page_id)
-        self._overflow[victim.page_id] = None
+        self._main.discard(victim)
+        self._overflow[victim.page.page_id] = None
 
     def select_victim(self) -> PageId:
         """The FIFO head of the overflow buffer leaves memory.
@@ -273,18 +317,13 @@ class ASB(ReplacementPolicy):
         buffer too small to have one) the policy degenerates to SLRU on the
         main part.
         """
-        frames = self.buffer.frames
+        lookup = self.buffer.frames.get
         for page_id in self._overflow:
-            if not frames[page_id].pinned:
+            if lookup(page_id).pin_count == 0:
                 return page_id
-        candidates = self._main_frames()
-        if not candidates:
+        victim = self._main_victim()
+        if victim is None:
             raise BufferFullError("all resident pages are pinned")
-        candidates.sort(key=lambda frame: frame.last_access)
-        del candidates[self._candidate_size :]
-        victim = min(
-            candidates, key=lambda frame: spatial_criterion(frame, self.criterion)
-        )
         return victim.page_id
 
     # ------------------------------------------------------------------

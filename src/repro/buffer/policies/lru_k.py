@@ -20,7 +20,7 @@ Two properties the paper stresses are reproduced faithfully:
 
 from __future__ import annotations
 
-from repro.buffer.frames import Frame
+from repro.buffer.frames import Frame, FrameTable
 from repro.buffer.policies.base import ReplacementPolicy
 from repro.storage.page import PageId
 
@@ -46,22 +46,26 @@ class LRUK(ReplacementPolicy):
     # ------------------------------------------------------------------
 
     def _record_reference(self, page_id: PageId, correlated: bool) -> None:
-        now = self.buffer.clock
+        # ``_clock``/``_query_id`` are read directly: this runs on every
+        # buffer request, and both the live manager and the ghost caches
+        # expose them under the same names.
+        buffer = self._buffer
         hist = self._hist.setdefault(page_id, [])
         if correlated and hist:
-            hist[0] = now
+            hist[0] = buffer._clock
         else:
-            hist.insert(0, now)
+            hist.insert(0, buffer._clock)
             del hist[self.k :]
-        self._last_query[page_id] = self.buffer.current_query
+        self._last_query[page_id] = buffer._query_id
 
     def on_load(self, frame: Frame) -> None:
-        previous_query = self._last_query.get(frame.page_id)
-        correlated = previous_query == self.buffer.current_query
-        self._record_reference(frame.page_id, correlated)
+        page_id = frame.page.page_id
+        previous_query = self._last_query.get(page_id)
+        correlated = previous_query == self.buffer._query_id
+        self._record_reference(page_id, correlated)
 
     def on_hit(self, frame: Frame, correlated: bool) -> None:
-        self._record_reference(frame.page_id, correlated)
+        self._record_reference(frame.page.page_id, correlated)
 
     def on_evict(self, frame: Frame) -> None:
         if not self.retain_history:
@@ -102,16 +106,50 @@ class LRUK(ReplacementPolicy):
         return hist[self.k - 1]
 
     def select_victim(self) -> PageId:
-        frames = self._evictable()
-        current_query = self.buffer.current_query
-        uncorrelated = [
-            frame for frame in frames if frame.last_query != current_query
-        ]
         # The paper restricts the victim search to pages whose most recent
         # reference is not correlated with the current access; if every
         # resident page was touched by the running query, something must
         # still be evicted, so fall back to the full set.
-        candidates = uncorrelated or frames
+        frames = self.buffer.frames
+        current_query = self.buffer.current_query
+        if isinstance(frames, FrameTable):
+            # One walk up the recency chain (ascending last_access): with a
+            # strict ``<`` the first frame at the minimal K-distance wins,
+            # which is exactly ``min`` by (K-distance, last_access).
+            hist = self._hist
+            k = self.k
+            best: Frame | None = None
+            best_d = 0
+            best_unc: Frame | None = None
+            best_unc_d = 0
+            frame = frames.head
+            while frame is not None:
+                if frame.pin_count == 0:
+                    page_hist = hist.get(frame.page.page_id)
+                    if page_hist is None or len(page_hist) < k:
+                        distance = -1
+                    else:
+                        distance = page_hist[k - 1]
+                    if best is None or distance < best_d:
+                        best = frame
+                        best_d = distance
+                    if frame.last_query != current_query and (
+                        best_unc is None or distance < best_unc_d
+                    ):
+                        best_unc = frame
+                        best_unc_d = distance
+                frame = frame.lru_next
+            victim = best_unc if best_unc is not None else best
+            if victim is None:
+                from repro.buffer.manager import BufferFullError
+
+                raise BufferFullError("all resident pages are pinned")
+            return victim.page.page_id
+        evictable = self._evictable()
+        uncorrelated = [
+            frame for frame in evictable if frame.last_query != current_query
+        ]
+        candidates = uncorrelated or evictable
         victim = min(
             candidates,
             key=lambda frame: (

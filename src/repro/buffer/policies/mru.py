@@ -2,12 +2,14 @@
 
 Evicts the page touched most recently.  MRU is optimal for cyclic scans
 that exceed the buffer size and pathological for most other workloads; it is
-included to give the baseline ablation a known-bad contrast point.
+included to give the baseline ablation a known-bad contrast point.  On the
+slot core the victim is the first unpinned frame off the recency chain's
+MRU tail — the mirror image of LRU's head walk.
 """
 
 from __future__ import annotations
 
-from repro.buffer.frames import Frame
+from repro.buffer.frames import Frame, FrameTable
 from repro.buffer.policies.base import ReplacementPolicy
 from repro.storage.page import PageId
 
@@ -18,8 +20,18 @@ class MRU(ReplacementPolicy):
     name = "MRU"
 
     def select_victim(self) -> PageId:
-        frames = self._evictable()
-        return max(frames, key=lambda frame: frame.last_access).page_id
+        frames = self.buffer.frames
+        if isinstance(frames, FrameTable):
+            frame = frames.tail
+            while frame is not None:
+                if frame.pin_count == 0:
+                    return frame.page.page_id
+                frame = frame.lru_prev
+            from repro.buffer.manager import BufferFullError
+
+            raise BufferFullError("all resident pages are pinned")
+        evictable = self._evictable()
+        return max(evictable, key=lambda frame: frame.last_access).page_id
 
     def flush_priority(self, frame: Frame) -> float:
         # MRU evicts the *hottest* frame first, so those flush first too.

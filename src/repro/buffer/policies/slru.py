@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 
-from repro.buffer.frames import Frame
+from repro.buffer.frames import Frame, FrameTable
 from repro.buffer.policies.base import ReplacementPolicy, deprecated_keyword
 from repro.buffer.policies.spatial import SPATIAL_CRITERIA, spatial_criterion
 from repro.storage.page import PageId
@@ -94,8 +94,34 @@ class SLRU(ReplacementPolicy):
         return max(1, math.ceil(self.candidate_fraction * self.buffer.capacity))
 
     def select_victim(self) -> PageId:
-        frames = self._evictable()
+        frames = self.buffer.frames
+        if isinstance(frames, FrameTable):
+            # The recency chain is ordered by last access, so the first
+            # ``candidate_count`` unpinned frames off the LRU head are
+            # exactly the stable-sorted candidate prefix the paper's rule
+            # asks for — no sort, O(candidates + pinned skips).
+            count = self.candidate_count()
+            criterion = self.criterion
+            frame = frames.head
+            victim = None
+            best = 0.0
+            while frame is not None and count > 0:
+                if frame.pin_count == 0:
+                    count -= 1
+                    value = frame.crit_cache.get(criterion)
+                    if value is None:
+                        value = spatial_criterion(frame, criterion)
+                    if victim is None or value < best:
+                        victim = frame
+                        best = value
+                frame = frame.lru_next
+            if victim is None:
+                from repro.buffer.manager import BufferFullError
+
+                raise BufferFullError("all resident pages are pinned")
+            return victim.page.page_id
+        evictable = self._evictable()
         victim = select_from_candidates(
-            frames, self.candidate_count(), self.criterion
+            evictable, self.candidate_count(), self.criterion
         )
         return victim.page_id

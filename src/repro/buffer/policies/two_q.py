@@ -70,7 +70,9 @@ class TwoQ(ReplacementPolicy):
             self._a1in[page_id] = None
 
     def on_hit(self, frame: Frame, correlated: bool) -> None:
-        page_id = frame.page_id
+        # ``frame.page.page_id`` dodges the property descriptor on the
+        # every-hit path.
+        page_id = frame.page.page_id
         if page_id in self._am:
             self._am.move_to_end(page_id)
         # A hit inside A1in does nothing (the 2Q rule: correlated bursts

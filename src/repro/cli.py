@@ -202,6 +202,11 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--tune", action="store_true",
                        help="attach the self-tuning controller (ghost "
                             "caches; state appears under STATS)")
+    serve.add_argument("--uvloop", choices=["auto", "on", "off"],
+                       default="off",
+                       help="event loop: 'on' requires uvloop, 'auto' "
+                            "uses it when installed, 'off' (default) "
+                            "keeps the stock asyncio loop")
 
     bench = commands.add_parser(
         "bench", help="performance benchmarks of the buffer services"
@@ -309,6 +314,28 @@ def _build_parser() -> argparse.ArgumentParser:
     ablation.add_argument("--seed", type=int, default=7)
     ablation.add_argument("--out", default="BENCH_ablation.json",
                           help="output JSON path ('' = don't write)")
+    hotpath = bench_commands.add_parser(
+        "hotpath",
+        help="single-thread fetch micro-benchmark + batched wire sweep",
+    )
+    hotpath.add_argument("--baseline", default=None,
+                         help="baseline JSON (from 'python src/repro/"
+                              "experiments/hotpath.py --measure-core' on "
+                              "the pre-refactor tree); default: carry the "
+                              "baseline section forward from --out")
+    hotpath.add_argument("--reps", type=int, default=5,
+                         help="repetitions per cell (best-of)")
+    hotpath.add_argument("--hit-requests", type=int, default=200_000)
+    hotpath.add_argument("--miss-requests", type=int, default=50_000)
+    hotpath.add_argument("--skip-serve", action="store_true",
+                         help="core loop only: skip the batched wire "
+                              "sweep and the 8-client p99 scenario")
+    hotpath.add_argument("--no-gate", action="store_true",
+                         help="report only; do not fail on the 2x "
+                              "hit-speedup acceptance guard")
+    hotpath.add_argument("--seed", type=int, default=7)
+    hotpath.add_argument("--out", default="BENCH_hotpath.json",
+                         help="output JSON path ('' = don't write)")
     check = bench_commands.add_parser(
         "check",
         help="regression gate over the committed BENCH_*.json reports",
@@ -549,8 +576,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.api import BufferSystem
     from repro.experiments.servebench import make_seed_page
-    from repro.server import PageServer
+    from repro.server import PageServer, UvloopUnavailable, install_uvloop
 
+    try:
+        accelerated = install_uvloop(args.uvloop)
+    except UvloopUnavailable as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
     system = BufferSystem.build(
         policy=args.policy,
         capacity=args.capacity,
@@ -574,10 +606,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     async def _serve() -> None:
         await server.start()
+        loop_name = "uvloop" if accelerated else "asyncio"
         print(
             f"page service on {server.host}:{server.port} — "
             f"{args.policy} @ {args.capacity} frames, "
-            f"{args.shards} shard(s), {args.pages} pages (ctrl-C to drain)"
+            f"{args.shards} shard(s), {args.pages} pages, "
+            f"{loop_name} loop (ctrl-C to drain)"
         )
         try:
             await server.serve_forever()
@@ -603,9 +637,56 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _cmd_bench_tuning(args)
     if args.bench_command == "ablation":
         return _cmd_bench_ablation(args)
+    if args.bench_command == "hotpath":
+        return _cmd_bench_hotpath(args)
     if args.bench_command == "check":
         return _cmd_bench_check(args)
     return _cmd_bench_concurrent(args)
+
+
+def _cmd_bench_hotpath(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.experiments.hotpath import load_baseline, run_hotpath_bench
+
+    baseline_path = args.baseline
+    if baseline_path is None and args.out and os.path.exists(args.out):
+        baseline_path = args.out  # carry the recorded baseline forward
+    if baseline_path is None:
+        print(
+            "bench hotpath: no --baseline given and no existing report at "
+            f"'{args.out}' to carry one forward from.  Record one with:\n"
+            "  PYTHONPATH=<pre-refactor>/src python src/repro/experiments/"
+            "hotpath.py --measure-core --out baseline.json",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        baseline = load_baseline(baseline_path)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"bench hotpath: bad baseline '{baseline_path}': {exc}",
+              file=sys.stderr)
+        return 2
+    report = run_hotpath_bench(
+        baseline=baseline,
+        hit_requests=args.hit_requests,
+        miss_requests=args.miss_requests,
+        reps=args.reps,
+        include_serve=not args.skip_serve,
+        seed=args.seed,
+    )
+    print(report.to_text())
+    if args.out:
+        report.save(args.out)
+        print(f"wrote hotpath report -> {args.out}")
+    if args.no_gate:
+        return 0
+    verdict = report.acceptance()
+    if not verdict["hit_speedup_geomean_geq_2x"]:
+        print("hit-path speedup below 2x vs the recorded pre-refactor "
+              "baseline", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_bench_ablation(args: argparse.Namespace) -> int:

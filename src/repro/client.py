@@ -32,6 +32,7 @@ import threading
 from typing import TYPE_CHECKING
 
 from repro.server.protocol import (
+    MAX_BATCH,
     ErrorCode,
     Op,
     ProtocolError,
@@ -40,6 +41,8 @@ from repro.server.protocol import (
     encode_request,
     decode_head,
     pack_page_id,
+    pack_page_ids,
+    pack_update_batch,
     read_frame,
     unpack_error,
     unpack_lsn,
@@ -94,6 +97,11 @@ class AsyncPageClient:
         self._request_ids = itertools.count(1)
         self._pending: dict[int, asyncio.Future] = {}
         self._closed = False
+        # Whether the server speaks FETCH_MANY/UPDATE_MANY: unknown until
+        # the first batched call, then remembered per connection.  An old
+        # server answers ``ERROR/UNKNOWN_OP`` (batches are well-formed
+        # frames), which downgrades this once, permanently.
+        self._batch_supported: bool | None = None
         self._reader_task = asyncio.ensure_future(self._read_loop())
 
     @classmethod
@@ -182,6 +190,81 @@ class AsyncPageClient:
         payload = pack_page_id(page.page_id) + encode_page(page, self.page_size)
         await self._request(Op.UPDATE, payload)
 
+    async def fetch_many(self, page_ids: "list[PageId]") -> "list[Page]":
+        """Fetch a batch of pages in one round trip, in request order.
+
+        Uses ``FETCH_MANY`` when the server speaks it (one frame, one
+        admission decision); against an old server the first call learns
+        the downgrade from ``ERROR/UNKNOWN_OP`` and this — like every
+        later call — falls back to pipelined single fetches, which still
+        overlap all round trips.  Batches larger than ``MAX_BATCH`` are
+        split transparently.
+        """
+        if not page_ids:
+            return []
+        if len(page_ids) > MAX_BATCH:
+            pages: list[Page] = []
+            for start in range(0, len(page_ids), MAX_BATCH):
+                pages.extend(
+                    await self.fetch_many(page_ids[start : start + MAX_BATCH])
+                )
+            return pages
+        if self._batch_supported is not False:
+            try:
+                blob = await self._request(
+                    Op.FETCH_MANY, pack_page_ids(page_ids)
+                )
+            except ServerError as exc:
+                if (
+                    self._batch_supported is not None
+                    or exc.code != ErrorCode.UNKNOWN_OP
+                ):
+                    raise
+                self._batch_supported = False
+            else:
+                self._batch_supported = True
+                size = self.page_size
+                if len(blob) != size * len(page_ids):
+                    raise ProtocolError(
+                        f"FETCH_MANY of {len(page_ids)} pages returned "
+                        f"{len(blob)} bytes, expected {size * len(page_ids)}"
+                    )
+                view = memoryview(blob)
+                return [
+                    decode_page(view[index * size : (index + 1) * size], pid)
+                    for index, pid in enumerate(page_ids)
+                ]
+        return list(
+            await asyncio.gather(*(self.fetch(pid) for pid in page_ids))
+        )
+
+    async def update_many(self, pages: "list[Page]") -> None:
+        """Install a batch of pages in one round trip (all-or-error)."""
+        if not pages:
+            return
+        if len(pages) > MAX_BATCH:
+            for start in range(0, len(pages), MAX_BATCH):
+                await self.update_many(pages[start : start + MAX_BATCH])
+            return
+        if self._batch_supported is not False:
+            size = self.page_size
+            payload = pack_update_batch(
+                [(page.page_id, encode_page(page, size)) for page in pages]
+            )
+            try:
+                await self._request(Op.UPDATE_MANY, payload)
+            except ServerError as exc:
+                if (
+                    self._batch_supported is not None
+                    or exc.code != ErrorCode.UNKNOWN_OP
+                ):
+                    raise
+                self._batch_supported = False
+            else:
+                self._batch_supported = True
+                return
+        await asyncio.gather(*(self.update(page) for page in pages))
+
     async def pin(self, page_id: "PageId") -> None:
         await self._request(Op.PIN, pack_page_id(page_id))
 
@@ -236,6 +319,12 @@ class PageClient:
 
     def update(self, page: "Page") -> None:
         self._call(self._client.update(page))
+
+    def fetch_many(self, page_ids: "list[PageId]") -> "list[Page]":
+        return self._call(self._client.fetch_many(page_ids))
+
+    def update_many(self, pages: "list[Page]") -> None:
+        self._call(self._client.update_many(pages))
 
     def pin(self, page_id: "PageId") -> None:
         self._call(self._client.pin(page_id))

@@ -266,6 +266,54 @@ def _extract_ablation(data, source: str):
     return metrics, guards
 
 
+def _extract_hotpath(data, source: str):
+    metrics, guards = [], []
+    core = _get(data, "core", source)
+    if not isinstance(core, Mapping) or not core:
+        raise BenchCheckError(
+            f"{source}: 'core' should be a non-empty policy->numbers object"
+        )
+    for policy in sorted(core):
+        metrics.append(
+            Metric(f"core.{policy}.hit_fps",
+                   _number(data, f"core.{policy}.hit_fps", source),
+                   "higher", timing=True)
+        )
+        metrics.append(
+            Metric(f"core.{policy}.miss_fps",
+                   _number(data, f"core.{policy}.miss_fps", source),
+                   "higher", timing=True)
+        )
+    metrics.append(
+        Metric("speedups.geomean_hit",
+               _number(data, "speedups.geomean_hit", source),
+               "higher", timing=True)
+    )
+    for prefix, point in _points(data, "batch.points", source, ("batch",)):
+        metrics.append(
+            Metric(f"{prefix}.pages_per_second",
+                   _number(point, "pages_per_second", source),
+                   "higher", timing=True)
+        )
+    p99 = _get(data, "p99_8_clients", source)
+    if p99 is not None:
+        metrics.append(
+            Metric("p99_8_clients.p99_ms",
+                   _number(data, "p99_8_clients.p99_ms", source),
+                   "lower", timing=True)
+        )
+        guards.append(_accounting_guard("p99_8_clients", p99, source))
+    guards.append(
+        Guard("acceptance.hit_speedup_geomean_geq_2x",
+              _boolean(data, "acceptance.hit_speedup_geomean_geq_2x", source))
+    )
+    guards.append(
+        Guard("acceptance.batching_improves_throughput",
+              _boolean(data, "acceptance.batching_improves_throughput", source))
+    )
+    return metrics, guards
+
+
 #: filename → extractor.  The ``benchmark`` field inside the JSON is the
 #: fallback for reports checked under a non-canonical name.
 EXTRACTORS: "dict[str, Callable]" = {
@@ -274,6 +322,7 @@ EXTRACTORS: "dict[str, Callable]" = {
     "BENCH_serve.json": _extract_serve,
     "BENCH_tuning.json": _extract_tuning,
     "BENCH_ablation.json": _extract_ablation,
+    "BENCH_hotpath.json": _extract_hotpath,
 }
 
 _BY_BENCHMARK_FIELD: "dict[str, Callable]" = {
@@ -282,6 +331,7 @@ _BY_BENCHMARK_FIELD: "dict[str, Callable]" = {
     "page-service": _extract_serve,
     "tuning": _extract_tuning,
     "ablation": _extract_ablation,
+    "hotpath": _extract_hotpath,
 }
 
 

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
-from repro.experiments import ablations
+from repro.experiments import ablation as ablations
 from repro.experiments.figures import ALL_FIGURES, FigureResult, PaperSetup, make_setup
 
 #: Every ablation, by report label.

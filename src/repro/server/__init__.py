@@ -20,6 +20,7 @@ from repro.server.admission import (
     AdmissionTimeout,
 )
 from repro.server.core import PageServer
+from repro.server.loops import UvloopUnavailable, install_uvloop
 from repro.server.protocol import (
     ErrorCode,
     Op,
@@ -40,4 +41,6 @@ __all__ = [
     "RetryReason",
     "ServerThread",
     "Status",
+    "UvloopUnavailable",
+    "install_uvloop",
 ]

@@ -54,11 +54,14 @@ from repro.server.protocol import (
     decode_head,
     encode_error,
     encode_response,
+    encode_response_parts,
     encode_retry_after,
     pack_lsn,
     read_frame,
     unpack_page_id,
+    unpack_page_ids,
     unpack_page_payload,
+    unpack_update_batch,
 )
 from repro.storage.serialization import decode_page, encode_page
 
@@ -138,6 +141,9 @@ class PageServer:
         self.op_counts: dict[str, int] = {op.name: 0 for op in Op}
         self.protocol_errors = 0
         self.connections_total = 0
+        #: Pages requested through FETCH_MANY/UPDATE_MANY (declared batch
+        #: sizes; one batch = one entry in ``requests``/``op_counts``).
+        self.batch_pages = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -242,11 +248,20 @@ class PageServer:
         finally:
             self._close_connection(connection)
 
-    async def _respond(self, connection: _Connection, frame: bytes) -> None:
-        """Write one response frame; a vanished client is not an error."""
+    async def _respond(self, connection: _Connection, frame) -> None:
+        """Write one response frame; a vanished client is not an error.
+
+        ``frame`` is either one ``bytes`` blob or a *buffer list* from
+        :func:`~repro.server.protocol.encode_response_parts` — the latter
+        goes out through ``writelines`` so batched page payloads are
+        handed to the transport without ever being concatenated.
+        """
         try:
             async with connection.write_lock:
-                connection.writer.write(frame)
+                if type(frame) is list:
+                    connection.writer.writelines(frame)
+                else:
+                    connection.writer.write(frame)
                 await connection.writer.drain()
         except (ConnectionResetError, BrokenPipeError, OSError):
             # Client disconnected mid-request: the buffer work already
@@ -290,6 +305,12 @@ class PageServer:
             )
             return
         self.op_counts[operation.name] += 1
+        if (
+            operation is Op.FETCH_MANY or operation is Op.UPDATE_MANY
+        ) and len(payload) >= 2:
+            # Declared batch size; counted here on the loop thread so the
+            # counter never races the worker pool.
+            self.batch_pages += int.from_bytes(payload[:2], "little")
         if operation is Op.STATS:
             # Introspection must work under full load — it reads counters
             # only and bypasses admission.
@@ -400,14 +421,55 @@ class PageServer:
         else:
             self.admission.release(client_id)
             self.responses_ok += 1
+            if type(result) is list:
+                # Batched page payloads stay separate buffers all the way
+                # to ``writelines`` — no concatenation copy.
+                try:
+                    return encode_response_parts(Status.OK, request_id, result)
+                except ProtocolError as exc:
+                    # Batch × page_size overflowed MAX_FRAME; answer the
+                    # request instead of killing the connection.
+                    self.responses_ok -= 1
+                    self.responses_error += 1
+                    return encode_error(
+                        request_id, ErrorCode.INTERNAL, str(exc)
+                    )
             return encode_response(Status.OK, request_id, result)
 
-    def _run_operation(self, operation: Op, payload: bytes) -> bytes:
-        """The blocking buffer work of one request (worker-thread side)."""
+    def _run_operation(self, operation: Op, payload: bytes):
+        """The blocking buffer work of one request (worker-thread side).
+
+        Returns the OK payload: ``bytes`` for the single-page operations,
+        a buffer *list* for the batched ones (written via ``writelines``).
+        """
         buffer = self.system.buffer
         if operation is Op.FETCH:
             page = buffer.fetch(unpack_page_id(payload))
             return encode_page(page, self.page_size)
+        if operation is Op.FETCH_MANY:
+            # One admission slot, one response frame, one syscall for the
+            # whole batch; each blob is exactly ``page_size`` bytes, so
+            # the payload is the blobs in request order, no framing.
+            page_ids = unpack_page_ids(payload)
+            fetch = buffer.fetch
+            page_size = self.page_size
+            return [encode_page(fetch(pid), page_size) for pid in page_ids]
+        if operation is Op.UPDATE_MANY:
+            # All-or-error: decode every item before installing any, so a
+            # malformed tail never leaves a half-applied batch.
+            pages = []
+            for page_id, blob in unpack_update_batch(payload):
+                page = decode_page(blob, page_id)
+                if page.page_id != page_id:
+                    raise ValueError(
+                        f"payload encodes page {page.page_id}, "
+                        f"header says {page_id}"
+                    )
+                pages.append(page)
+            install = buffer.install
+            for page in pages:
+                install(page)
+            return b""
         if operation is Op.UPDATE:
             page_id, blob = unpack_page_payload(payload)
             page = decode_page(blob, page_id)
@@ -442,6 +504,7 @@ class PageServer:
                 "responses_error": self.responses_error,
                 "responses_retry": self.responses_retry,
                 "op_counts": dict(self.op_counts),
+                "batch_pages": self.batch_pages,
                 "protocol_errors": self.protocol_errors,
                 "connections": len(self._connections),
                 "connections_total": self.connections_total,

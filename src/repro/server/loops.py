@@ -1,0 +1,58 @@
+"""Event-loop selection: optional uvloop acceleration for the server.
+
+The asyncio front-end spends its loop-thread time in framing, admission
+and socket I/O; `uvloop <https://github.com/MagicStack/uvloop>`_ (a
+libuv-based drop-in loop) speeds exactly that slice up.  It is an
+**opt-in**: the dependency is optional, nothing imports it at module
+load, and the stock asyncio loop stays the default — reproductions must
+run identically on a bare Python install.
+
+``python -m repro serve --uvloop auto|on|off`` maps to
+:func:`install_uvloop`:
+
+* ``off`` (default) — never touch the loop policy;
+* ``auto`` — use uvloop when importable, silently fall back otherwise;
+* ``on`` — require uvloop; raise :class:`UvloopUnavailable` when the
+  import fails, so a deployment that *believes* it runs accelerated
+  cannot silently not be.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+__all__ = ["UVLOOP_MODES", "UvloopUnavailable", "install_uvloop"]
+
+#: The accepted ``--uvloop`` settings.
+UVLOOP_MODES = ("auto", "on", "off")
+
+
+class UvloopUnavailable(RuntimeError):
+    """uvloop was required (``--uvloop on``) but cannot be imported."""
+
+
+def install_uvloop(mode: str = "off") -> bool:
+    """Install the uvloop event-loop policy per ``mode``; True if installed.
+
+    Must run before the event loop is created (i.e. before
+    ``asyncio.run``).  With ``mode="auto"`` a missing/broken uvloop is
+    not an error — the function returns False and the stock loop is
+    used.
+    """
+    if mode not in UVLOOP_MODES:
+        raise ValueError(
+            f"unknown uvloop mode {mode!r}; expected one of {UVLOOP_MODES}"
+        )
+    if mode == "off":
+        return False
+    try:
+        import uvloop
+    except ImportError as exc:
+        if mode == "on":
+            raise UvloopUnavailable(
+                "uvloop was requested (--uvloop on) but is not installed; "
+                "use --uvloop auto to fall back to the stock asyncio loop"
+            ) from exc
+        return False
+    asyncio.set_event_loop_policy(uvloop.EventLoopPolicy())
+    return True

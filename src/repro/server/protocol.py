@@ -13,16 +13,29 @@ out of order.  All integers are little-endian; page ids are signed 64-bit.
 
 Operations and their payloads:
 
-=========  =================================  ===========================
-op         request payload                    OK payload
-=========  =================================  ===========================
-FETCH      page_id:i64                        encoded page bytes
-UPDATE     page_id:i64 | encoded page bytes   (empty)
-PIN        page_id:i64                        (empty)
-UNPIN      page_id:i64                        (empty)
-COMMIT     (empty)                            lsn:i64
-STATS      (empty)                            UTF-8 JSON object
-=========  =================================  ===========================
+===========  =====================================  ===========================
+op           request payload                        OK payload
+===========  =====================================  ===========================
+FETCH        page_id:i64                            encoded page bytes
+UPDATE       page_id:i64 | encoded page bytes       (empty)
+PIN          page_id:i64                            (empty)
+UNPIN        page_id:i64                            (empty)
+COMMIT       (empty)                                lsn:i64
+STATS        (empty)                                UTF-8 JSON object
+FETCH_MANY   count:u16 | page_id:i64 x count        count fixed-size page blobs
+UPDATE_MANY  count:u16 | item x count               (empty)
+===========  =====================================  ===========================
+
+The batched operations amortise one frame, one syscall and one admission
+decision over up to :data:`MAX_BATCH` pages.  A ``FETCH_MANY`` OK payload
+is the requested pages' encodings concatenated *in request order*; every
+blob is exactly ``page_size`` bytes (the fixed-size slot encoding of
+:func:`repro.storage.serialization.encode_page`), so the client splits it
+by offset arithmetic alone.  An ``UPDATE_MANY`` item is
+``page_id:i64 | blob_len:u32 | blob``.  Batches are all-or-error: any
+failing page fails the whole batch with ``ERROR`` and no partial result.
+A malformed batch payload (bad count, truncated items, trailing garbage)
+is a *request* error — ``ERROR/MALFORMED``, the connection survives.
 
 Non-OK statuses:
 
@@ -48,12 +61,17 @@ from enum import IntEnum
 #: Upper bound on one frame's body, malformed-stream guard (16 MiB).
 MAX_FRAME = 16 * 1024 * 1024
 
+#: Upper bound on the pages of one batched request (fits the u16 count).
+MAX_BATCH = 1024
+
 _LENGTH = struct.Struct("<I")
 _HEAD = struct.Struct("<BI")  # op/status, request_id
 _PAGE_ID = struct.Struct("<q")
 _LSN = struct.Struct("<q")
 _ERROR = struct.Struct("<B")
 _RETRY = struct.Struct("<BI")  # reason, hint_ms
+_COUNT = struct.Struct("<H")  # batch size
+_ITEM_HEAD = struct.Struct("<qI")  # page_id, blob length
 
 
 class Op(IntEnum):
@@ -65,6 +83,8 @@ class Op(IntEnum):
     UNPIN = 4
     COMMIT = 5
     STATS = 6
+    FETCH_MANY = 7
+    UPDATE_MANY = 8
 
 
 class Status(IntEnum):
@@ -137,6 +157,89 @@ def pack_page_id(page_id: int) -> bytes:
 
 def pack_lsn(lsn: int) -> bytes:
     return _LSN.pack(lsn)
+
+
+def encode_response_parts(
+    status: int, request_id: int, parts: list
+) -> list:
+    """Build a response as a *buffer list* for ``writer.writelines``.
+
+    The zero-copy sibling of :func:`encode_response`: the payload pieces
+    (``bytes`` or ``memoryview``) are never concatenated — the length
+    prefix and header travel as one small buffer followed by the pieces
+    verbatim, so a batched page response costs no payload copy at all.
+    """
+    total = _HEAD.size + sum(len(part) for part in parts)
+    if total > MAX_FRAME:
+        raise ProtocolError(f"frame body of {total} bytes exceeds MAX_FRAME")
+    head = _LENGTH.pack(total) + _HEAD.pack(status, request_id)
+    return [head, *parts]
+
+
+def pack_page_ids(page_ids: list) -> bytes:
+    """FETCH_MANY request payload: ``count:u16 | page_id:i64 x count``."""
+    count = len(page_ids)
+    if not 0 < count <= MAX_BATCH:
+        raise ValueError(f"batch must hold 1..{MAX_BATCH} pages, got {count}")
+    return _COUNT.pack(count) + struct.pack(f"<{count}q", *page_ids)
+
+
+def unpack_page_ids(payload: bytes) -> list[int]:
+    """Decode a FETCH_MANY payload; raises ``ValueError`` when malformed."""
+    if len(payload) < _COUNT.size:
+        raise ValueError("batch payload is missing the count")
+    (count,) = _COUNT.unpack_from(payload, 0)
+    if not 0 < count <= MAX_BATCH:
+        raise ValueError(f"batch count {count} outside 1..{MAX_BATCH}")
+    expected = _COUNT.size + count * _PAGE_ID.size
+    if len(payload) != expected:
+        raise ValueError(
+            f"batch of {count} ids needs {expected} bytes, got {len(payload)}"
+        )
+    return list(struct.unpack_from(f"<{count}q", payload, _COUNT.size))
+
+
+def pack_update_batch(items: list) -> bytes:
+    """UPDATE_MANY request payload from ``(page_id, blob)`` pairs."""
+    count = len(items)
+    if not 0 < count <= MAX_BATCH:
+        raise ValueError(f"batch must hold 1..{MAX_BATCH} pages, got {count}")
+    pieces = [_COUNT.pack(count)]
+    for page_id, blob in items:
+        pieces.append(_ITEM_HEAD.pack(page_id, len(blob)))
+        pieces.append(blob)
+    return b"".join(pieces)
+
+
+def unpack_update_batch(payload: bytes) -> list[tuple[int, memoryview]]:
+    """Decode an UPDATE_MANY payload into ``(page_id, blob)`` pairs.
+
+    The blobs are ``memoryview`` slices over the received frame — no
+    copies; raises ``ValueError`` on any malformation (bad count,
+    truncated item, trailing garbage).
+    """
+    if len(payload) < _COUNT.size:
+        raise ValueError("batch payload is missing the count")
+    (count,) = _COUNT.unpack_from(payload, 0)
+    if not 0 < count <= MAX_BATCH:
+        raise ValueError(f"batch count {count} outside 1..{MAX_BATCH}")
+    view = memoryview(payload)
+    offset = _COUNT.size
+    items: list[tuple[int, memoryview]] = []
+    for _ in range(count):
+        if len(payload) - offset < _ITEM_HEAD.size:
+            raise ValueError("batch item header is truncated")
+        page_id, blob_len = _ITEM_HEAD.unpack_from(payload, offset)
+        offset += _ITEM_HEAD.size
+        if len(payload) - offset < blob_len:
+            raise ValueError("batch item blob is truncated")
+        items.append((page_id, view[offset : offset + blob_len]))
+        offset += blob_len
+    if offset != len(payload):
+        raise ValueError(
+            f"batch has {len(payload) - offset} bytes of trailing garbage"
+        )
+    return items
 
 
 # ----------------------------------------------------------------------

@@ -35,7 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Mapping
 
-from repro.buffer.frames import Frame
+from repro.buffer.frames import Frame, FrameTable
 from repro.buffer.policies.spatial import SPATIAL_CRITERIA, spatial_criterion
 from repro.buffer.stats import BufferStats
 from repro.storage.page import Page, PageId, PageType
@@ -115,8 +115,19 @@ class GhostCache:
         self.capacity = capacity
         self.policy = policy
         self.name = name if name is not None else policy.name
-        self.frames: dict[PageId, Frame] = {}
+        #: The same slot-based frame table the live buffer uses, so the
+        #: recency-chain victim walks of the list-based policies run
+        #: unmodified (and bit-identically) on ghost frames.
+        self.frames: FrameTable = FrameTable()
         self.stats = BufferStats()
+        # Ghost frames never pin, so the base no-op ``on_hit`` can be
+        # elided exactly as the live fast path does.
+        from repro.buffer.policies.base import ReplacementPolicy
+
+        if type(policy).on_hit is ReplacementPolicy.on_hit:
+            self._hit_hook = None
+        else:
+            self._hit_hook = policy.on_hit
         #: Policies check ``buffer.observer`` before emitting; ghosts stay
         #: silent so shadow decisions never pollute the live event trace.
         self.observer = None
@@ -157,31 +168,36 @@ class GhostCache:
         ``meta`` (a :class:`PageMeta` or a zero-argument factory, invoked
         only on this miss path).
         """
-        self._clock += 1
-        self.stats.requests += 1
+        self._clock = clock = self._clock + 1
+        stats = self.stats
+        stats.requests += 1
         self._query_id = query
-        frame = self.frames.get(page_id)
+        frames = self.frames
+        frame = frames.get(page_id)
         if frame is not None:
-            self.stats.hits += 1
-            correlated = frame.last_query == query
-            self.policy.on_hit(frame, correlated)
-            frame.touch(self._clock, query)
+            stats.hits += 1
+            hook = self._hit_hook
+            if hook is not None:
+                hook(frame, frame.last_query == query)
+            frame.last_access = clock
+            frame.last_query = query
+            frame.access_count += 1
+            frames.move_to_tail(frame)
             return True
-        self.stats.misses += 1
-        if len(self.frames) >= self.capacity:
+        stats.misses += 1
+        if len(frames) >= self.capacity:
             victim_id = self.policy.select_victim()
-            victim = self.frames.pop(victim_id, None)
+            victim = frames.remove(victim_id)
             if victim is None:
                 raise RuntimeError(
                     f"ghost policy selected page {victim_id}, "
                     "which is not ghost-resident"
                 )
-            self.stats.evictions += 1
+            stats.evictions += 1
             self.policy.on_evict(victim)
         if callable(meta):
             meta = meta()
-        frame = meta.make_frame(self._clock, query)
-        self.frames[page_id] = frame
+        frame = frames.adopt(meta.make_frame(clock, query))
         self.policy.on_load(frame)
         return False
 

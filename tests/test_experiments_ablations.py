@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.ablations import (
+from repro.experiments.ablation import (
     ablation_adaptive_buffers,
     ablation_baselines,
     ablation_build_method,
@@ -47,6 +47,23 @@ def check(result: FigureResult):
     text = result.to_text()
     assert result.title in text
     return result
+
+
+class TestDeprecatedAlias:
+    def test_ablations_module_warns_and_reexports(self):
+        import importlib
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            import repro.experiments.ablations as legacy
+
+        with pytest.warns(DeprecationWarning, match="repro.experiments.ablation"):
+            legacy = importlib.reload(legacy)
+        from repro.experiments import ablation
+
+        assert legacy.ablation_overflow_size is ablation.ablation_overflow_size
+        assert legacy.ABLATION_SETS == ablation.ABLATION_SETS
 
 
 class TestAblationsRun:

@@ -1,0 +1,78 @@
+"""Tests for the opt-in uvloop event-loop selection (``--uvloop``).
+
+uvloop is deliberately NOT a dependency of this repo; the tests cover
+both worlds — when it is absent (the supported baseline) the ``auto``
+and ``on`` modes must degrade exactly as documented, and when it is
+present the policy installation must be undone afterwards so the rest
+of the suite runs on the stock loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import importlib.util
+
+import pytest
+
+from repro.server.loops import UVLOOP_MODES, UvloopUnavailable, install_uvloop
+
+HAVE_UVLOOP = importlib.util.find_spec("uvloop") is not None
+
+
+@pytest.fixture(autouse=True)
+def _restore_loop_policy():
+    """Never leak an installed uvloop policy into other tests."""
+    try:
+        yield
+    finally:
+        asyncio.set_event_loop_policy(None)
+
+
+class TestInstallUvloop:
+    def test_off_is_default_and_touches_nothing(self):
+        before = asyncio.get_event_loop_policy()
+        assert install_uvloop("off") is False
+        assert asyncio.get_event_loop_policy() is before
+
+    def test_unknown_mode_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown uvloop mode"):
+            install_uvloop("fast")
+
+    def test_modes_tuple_is_the_cli_contract(self):
+        assert UVLOOP_MODES == ("auto", "on", "off")
+
+    @pytest.mark.skipif(HAVE_UVLOOP, reason="uvloop installed")
+    def test_auto_without_uvloop_falls_back_silently(self):
+        before = asyncio.get_event_loop_policy()
+        assert install_uvloop("auto") is False
+        assert asyncio.get_event_loop_policy() is before
+
+    @pytest.mark.skipif(HAVE_UVLOOP, reason="uvloop installed")
+    def test_on_without_uvloop_raises(self):
+        with pytest.raises(UvloopUnavailable, match="--uvloop auto"):
+            install_uvloop("on")
+
+    @pytest.mark.skipif(not HAVE_UVLOOP, reason="uvloop missing")
+    def test_on_with_uvloop_installs_the_policy(self):
+        assert install_uvloop("on") is True
+        policy = asyncio.get_event_loop_policy()
+        assert type(policy).__module__.startswith("uvloop")
+
+
+class TestServeWiring:
+    def test_serve_parser_accepts_uvloop_choices(self):
+        from repro.cli import _build_parser
+
+        parser = _build_parser()
+        args = parser.parse_args(["serve", "--uvloop", "auto"])
+        assert args.uvloop == "auto"
+        args = parser.parse_args(["serve"])
+        assert args.uvloop == "off"
+
+    def test_serve_parser_rejects_unknown_loop(self, capsys):
+        from repro.cli import _build_parser
+
+        parser = _build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["serve", "--uvloop", "libuv"])
+        assert "--uvloop" in capsys.readouterr().err

@@ -265,3 +265,129 @@ class TestDrainOnShutdown:
                 await server.stop()
 
         asyncio.run(scenario())
+
+
+class TestBatchOpcodes:
+    """FETCH_MANY / UPDATE_MANY over a live server."""
+
+    def test_fetch_many_matches_single_fetches(self):
+        system = durable_system()
+        with ServerThread(system, page_size=PAGE_SIZE) as server:
+            async def scenario() -> None:
+                client = await AsyncPageClient.connect(
+                    server.host, server.port, page_size=PAGE_SIZE
+                )
+                try:
+                    ids = [3, 1, 3, 7, 0, 31]
+                    batch = await client.fetch_many(ids)
+                    singles = [await client.fetch(pid) for pid in ids]
+                    assert [p.page_id for p in batch] == ids
+                    assert [p.entries for p in batch] == [
+                        p.entries for p in singles
+                    ]
+                finally:
+                    await client.close()
+
+            asyncio.run(scenario())
+
+    def test_update_many_then_fetch_round_trip(self):
+        system = durable_system()
+        with ServerThread(system, page_size=PAGE_SIZE) as server:
+            async def scenario() -> None:
+                client = await AsyncPageClient.connect(
+                    server.host, server.port, page_size=PAGE_SIZE
+                )
+                try:
+                    pages = [
+                        make_seed_page(pid, pid * 100, PAGE_SIZE)
+                        for pid in (40, 41, 42)
+                    ]
+                    await client.update_many(pages)
+                    read_back = await client.fetch_many([40, 41, 42])
+                    assert [p.entries for p in read_back] == [
+                        p.entries for p in pages
+                    ]
+                finally:
+                    await client.close()
+
+            asyncio.run(scenario())
+
+    def test_pipelined_fallback_matches_batch(self):
+        # Force the old-server downgrade: fetch_many must produce the
+        # same pages through pipelined single FETCHes.
+        system = durable_system()
+        with ServerThread(system, page_size=PAGE_SIZE) as server:
+            async def scenario() -> None:
+                client = await AsyncPageClient.connect(
+                    server.host, server.port, page_size=PAGE_SIZE
+                )
+                try:
+                    ids = [2, 9, 2, 17]
+                    batched = await client.fetch_many(ids)
+                    client._batch_supported = False
+                    pipelined = await client.fetch_many(ids)
+                    assert [p.page_id for p in pipelined] == ids
+                    assert [p.entries for p in pipelined] == [
+                        p.entries for p in batched
+                    ]
+                finally:
+                    await client.close()
+
+            asyncio.run(scenario())
+
+    def test_malformed_batches_are_errors_not_hangups(self):
+        import random
+
+        from repro.server.protocol import MAX_BATCH
+
+        system = durable_system()
+        with ServerThread(system, page_size=PAGE_SIZE) as server:
+            async def scenario() -> None:
+                client = await AsyncPageClient.connect(
+                    server.host, server.port, page_size=PAGE_SIZE
+                )
+                try:
+                    hostile = [
+                        b"",                                  # no count
+                        struct.pack("<H", 0),                 # zero batch
+                        struct.pack("<H", MAX_BATCH + 1),     # oversized count
+                        struct.pack("<H", 3) + b"\x00" * 8,   # truncated ids
+                        struct.pack("<H", 1) + b"\x00" * 9,   # trailing byte
+                    ]
+                    for op in (Op.FETCH_MANY, Op.UPDATE_MANY):
+                        for payload in hostile:
+                            with pytest.raises(ServerError) as excinfo:
+                                await client._request(op, payload)
+                            assert excinfo.value.code == ErrorCode.MALFORMED
+                    # One connection absorbed every malformation and the
+                    # stream is still perfectly aligned.
+                    assert (await client.fetch(5)).page_id == 5
+                finally:
+                    await client.close()
+
+            asyncio.run(scenario())
+
+    def test_fuzzed_batch_frames_never_kill_the_connection(self):
+        import random
+
+        system = durable_system()
+        with ServerThread(system, page_size=PAGE_SIZE) as server:
+            async def scenario() -> None:
+                rng = random.Random(2002)
+                client = await AsyncPageClient.connect(
+                    server.host, server.port, page_size=PAGE_SIZE
+                )
+                try:
+                    for index in range(60):
+                        op = Op.FETCH_MANY if index % 2 else Op.UPDATE_MANY
+                        payload = rng.randbytes(rng.randrange(0, 80))
+                        try:
+                            await client._request(op, payload)
+                        except ServerError:
+                            pass  # request-level rejection is the contract
+                        # The connection survives every single frame.
+                        assert (await client.fetch(index % 8)).page_id == index % 8
+                finally:
+                    await client.close()
+
+            asyncio.run(scenario())
