@@ -83,22 +83,31 @@ class _ThreadCounters:
 class _InFlight:
     """One in-progress disk read that concurrent missers wait on."""
 
-    __slots__ = ("event", "error")
+    __slots__ = ("event", "error", "superseded")
 
     def __init__(self) -> None:
         self.event = threading.Event()
         self.error: BaseException | None = None
+        #: Set by install()/discard() while the read is in flight: the
+        #: bytes being loaded may describe an older version of the page
+        #: than what just went through the buffer, so the loader must not
+        #: admit them (see the retry loop in fetch()).
+        self.superseded = False
 
 
 class _Shard:
     """One lock-protected sub-pool: a sequential core plus coalescing state."""
 
-    __slots__ = ("lock", "manager", "inflight")
+    __slots__ = ("lock", "manager", "inflight", "mutations")
 
     def __init__(self, manager: BufferManager) -> None:
         self.lock = threading.RLock()
         self.manager = manager
         self.inflight: dict[PageId, _InFlight] = {}
+        #: Bumped by every install()/discard(); the uncoalesced fetch path
+        #: (which has no in-flight entry to flag) re-reads the disk when
+        #: the counter moved during its off-lock read.
+        self.mutations = 0
 
 
 class ConcurrentBufferManager:
@@ -239,6 +248,7 @@ class ConcurrentBufferManager:
         if not self.coalesce:
             return self._fetch_uncoalesced(shard, page_id, counters, query_id)
         first_attempt = True
+        counted_miss = False
         while True:
             with shard.lock:
                 self._bind(manager, query_id)
@@ -251,40 +261,63 @@ class ConcurrentBufferManager:
                     return manager.serve_hit(frame)
                 entry = shard.inflight.get(page_id)
                 if entry is None:
-                    # We are the loader for this miss group.
+                    # We are the loader for this miss group.  One request is
+                    # at most one miss, however many times the loop retries.
                     entry = _InFlight()
                     shard.inflight[page_id] = entry
-                    manager.stats.misses += 1
-                    counters.misses += 1
-                    break
-            # Another thread is already reading this page: wait without
-            # holding the shard lock, then retry the lookup.  If the frame
-            # was evicted again before we re-acquired the lock, the loop
-            # promotes us to loader — a genuine second miss.
-            counters.coalesced += 1
-            entry.event.wait()
-            if entry.error is not None:
-                raise entry.error
-        # Loader path: the read happens outside the lock so the shard keeps
-        # serving hits (and other misses) meanwhile.
-        try:
-            page = self.disk.read(page_id)
-        except BaseException as exc:
-            with shard.lock:
-                del shard.inflight[page_id]
-                entry.error = exc
-                entry.event.set()
-            raise
-        with shard.lock:
-            self._bind(manager, query_id)
+                    if not counted_miss:
+                        manager.stats.misses += 1
+                        counters.misses += 1
+                        counted_miss = True
+                    am_loader = True
+                else:
+                    am_loader = False
+            if not am_loader:
+                # Another thread is already reading this page: wait without
+                # holding the shard lock, then retry the lookup.  If the
+                # frame was evicted again before we re-acquired the lock,
+                # the loop promotes us to loader — a genuine second miss.
+                counters.coalesced += 1
+                entry.event.wait()
+                if entry.error is not None:
+                    raise entry.error
+                continue
+            # Loader path: the read happens outside the lock so the shard
+            # keeps serving hits (and other misses) meanwhile.
             try:
-                return manager.complete_miss(page)
+                page = self.disk.read(page_id)
             except BaseException as exc:
-                entry.error = exc
+                with shard.lock:
+                    del shard.inflight[page_id]
+                    entry.error = exc
+                    entry.event.set()
                 raise
-            finally:
-                del shard.inflight[page_id]
-                entry.event.set()
+            with shard.lock:
+                self._bind(manager, query_id)
+                try:
+                    frame = manager.frames.get(page_id)
+                    if frame is not None:
+                        # install() made the page resident while we were off
+                        # the lock reading disk — it goes straight through
+                        # the shard lock and never consults the in-flight
+                        # table.  Admitting our (stale) copy on top would
+                        # orphan the resident frame inside the recency
+                        # chain; serve the resident page instead.
+                        return frame.page
+                    if not entry.superseded:
+                        return manager.complete_miss(page)
+                    # An install()/discard() landed during our read and its
+                    # frame is already gone again (evicted after write-back,
+                    # or deallocated).  Our bytes may predate it — admitting
+                    # them would resurrect a stale version.  Retry: the
+                    # eviction wrote the newer version back before dropping
+                    # the frame, so a fresh read observes it.
+                except BaseException as exc:
+                    entry.error = exc
+                    raise
+                finally:
+                    del shard.inflight[page_id]
+                    entry.event.set()
 
     def _fetch_uncoalesced(
         self,
@@ -310,17 +343,27 @@ class ConcurrentBufferManager:
                 return manager.serve_hit(frame)
             manager.stats.misses += 1
             counters.misses += 1
-        page = self.disk.read(page_id)
-        with shard.lock:
-            self._bind(manager, query_id)
-            frame = manager.frames.get(page_id)
-            if frame is not None:
-                # Another misser installed the page while we were reading:
-                # our read was the duplicate this mode exists to expose.
-                # Serve the resident copy; the request stays accounted as
-                # the miss that caused the read.
-                return frame.page
-            return manager.complete_miss(page)
+        while True:
+            with shard.lock:
+                stamp = shard.mutations
+            page = self.disk.read(page_id)
+            with shard.lock:
+                self._bind(manager, query_id)
+                frame = manager.frames.get(page_id)
+                if frame is not None:
+                    # Another misser installed the page while we were
+                    # reading: our read was the duplicate this mode exists
+                    # to expose.  Serve the resident copy; the request stays
+                    # accounted as the miss that caused the read.
+                    return frame.page
+                if shard.mutations == stamp:
+                    return manager.complete_miss(page)
+                # An install()/discard() landed somewhere in this shard
+                # during our read; with no in-flight entry to flag the
+                # exact page, re-read conservatively rather than risk
+                # admitting bytes that predate a newer, already-evicted
+                # version (the write-back preceded the eviction, so the
+                # retry observes it).
 
     def install(self, page: Page) -> None:
         """Place a newly allocated page into its shard without a disk read."""
@@ -328,12 +371,29 @@ class ConcurrentBufferManager:
         with shard.lock:
             self._bind(shard.manager, self._request_query_id())
             shard.manager.install(page)
+            self._supersede(shard, page.page_id)
 
     def discard(self, page_id: PageId) -> None:
         """Drop a resident page without write-back (deallocation)."""
         shard = self._shard(page_id)
         with shard.lock:
             shard.manager.discard(page_id)
+            self._supersede(shard, page_id)
+
+    @staticmethod
+    def _supersede(shard: _Shard, page_id: PageId) -> None:
+        """Flag in-flight loads whose bytes this mutation may have outdated.
+
+        Called under the shard lock by install()/discard().  A loader off
+        the lock in ``disk.read`` may be holding bytes that predate this
+        mutation; if the mutated frame is evicted again before the loader
+        re-acquires the lock, the resident-frame re-check alone would not
+        stop it from admitting the stale copy.
+        """
+        shard.mutations += 1
+        entry = shard.inflight.get(page_id)
+        if entry is not None:
+            entry.superseded = True
 
     def mark_dirty(self, page_id: PageId) -> None:
         shard = self._shard(page_id)

@@ -286,6 +286,15 @@ class FrameTable(dict):
             # Deferred renewals precede this admission chronologically and
             # must land before the new tail frame.
             self.flush_hook()
+        stale = dict.pop(self, page.page_id, None)
+        if stale is not None:
+            # Re-admitting a resident id (a concurrent install raced a miss
+            # loader).  The dict overwrite alone would leave the old frame
+            # linked in the chain forever — a zombie the policy could later
+            # select as a non-resident victim.  Unlink and recycle it first.
+            self._unlink(stale)
+            if stale.slot >= 0:
+                self._free.append(stale)
         free = self._free
         if free:
             frame = free.pop()

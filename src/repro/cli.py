@@ -31,6 +31,10 @@ Four commands cover the common workflows without writing any code:
 * ``bench ablation`` — baseline-plus-one-off component matrix over
   hostile + locality access-graph workloads, ranking each component by
   measured importance (writes ``BENCH_ablation.json``);
+* ``bench cluster`` — multi-node distributed tier: aggregate-throughput
+  scaling sweep over 1→N consistent-hash nodes, a replica + far-buffer
+  scenario, and a randomized invalidation soak asserting zero stale
+  reads (writes ``BENCH_cluster.json``);
 * ``bench check`` — the regression gate: validates the committed
   ``BENCH_*.json`` reports and (with ``--candidate DIR``) fails on >10%
   direction-aware metric regressions with a readable diff.
@@ -49,6 +53,7 @@ Examples::
     python -m repro serve --port 7007 --policy ASB --shards 4
     python -m repro bench serve --clients 1,2,4,8 --out BENCH_serve.json
     python -m repro bench ablation --workers 4 --out BENCH_ablation.json
+    python -m repro bench cluster --nodes 1,2,4 --out BENCH_cluster.json
     python -m repro bench check --dir . --candidate /tmp/fresh
 """
 
@@ -335,6 +340,37 @@ def _build_parser() -> argparse.ArgumentParser:
                               "hit-speedup acceptance guard")
     hotpath.add_argument("--seed", type=int, default=7)
     hotpath.add_argument("--out", default="BENCH_hotpath.json",
+                         help="output JSON path ('' = don't write)")
+    cluster = bench_commands.add_parser(
+        "cluster",
+        help="multi-node scaling sweep, replica/far tier, invalidation soak",
+    )
+    cluster.add_argument("--nodes", default="1,2,4",
+                         help="comma-separated data-node counts to sweep")
+    cluster.add_argument("--clients", default="1,2,4,8",
+                         help="comma-separated client thread counts")
+    cluster.add_argument("--pages", type=int, default=1024,
+                         help="seeded pages per fleet")
+    cluster.add_argument("--capacity", type=int, default=32,
+                         help="buffer frames per data node")
+    cluster.add_argument("--workers", type=int, default=2,
+                         help="server worker threads per node")
+    cluster.add_argument("--read-delay-ms", type=float, default=2.0,
+                         help="simulated disk read latency per page")
+    cluster.add_argument("--batch", type=int, default=16,
+                         help="pages per FETCH_MANY batch")
+    cluster.add_argument("--batches-per-client", type=int, default=30)
+    cluster.add_argument("--replicas", type=int, default=1,
+                         help="read replicas per hot page (tiered scenario)")
+    cluster.add_argument("--far-capacity", type=int, default=256,
+                         help="far-buffer node capacity in pages")
+    cluster.add_argument("--soak-seconds", type=float, default=3.0,
+                         help="invalidation soak duration")
+    cluster.add_argument("--seed", type=int, default=7)
+    cluster.add_argument("--no-gate", action="store_true",
+                         help="report only; do not fail on the acceptance "
+                              "guards (scaling >= 2.5x, zero stale reads)")
+    cluster.add_argument("--out", default="BENCH_cluster.json",
                          help="output JSON path ('' = don't write)")
     check = bench_commands.add_parser(
         "check",
@@ -641,7 +677,55 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _cmd_bench_hotpath(args)
     if args.bench_command == "check":
         return _cmd_bench_check(args)
+    if args.bench_command == "cluster":
+        return _cmd_bench_cluster(args)
     return _cmd_bench_concurrent(args)
+
+
+def _cmd_bench_cluster(args: argparse.Namespace) -> int:
+    from repro.experiments.clusterbench import (
+        ClusterBenchParams,
+        run_cluster_bench,
+    )
+
+    params = ClusterBenchParams(
+        nodes=tuple(int(n) for n in args.nodes.split(",")),
+        clients=tuple(int(c) for c in args.clients.split(",")),
+        pages=args.pages,
+        capacity=args.capacity,
+        workers=args.workers,
+        read_delay_ms=args.read_delay_ms,
+        batch=args.batch,
+        batches_per_client=args.batches_per_client,
+        replicas=args.replicas,
+        far_capacity=args.far_capacity,
+        soak_seconds=args.soak_seconds,
+        seed=args.seed,
+    )
+    report = run_cluster_bench(params)
+    print(report.to_text())
+    if args.out:
+        report.save(args.out)
+        print(f"wrote cluster bench report -> {args.out}")
+    if args.no_gate:
+        return 0
+    verdict = report.acceptance()
+    ok = True
+    if not verdict["scaling_factor_geq_2_5x"]:
+        print(
+            f"aggregate scaling factor {report.scaling_factor():.2f}x is "
+            "below the 2.5x acceptance floor",
+            file=sys.stderr,
+        )
+        ok = False
+    if not verdict["zero_stale_reads"]:
+        print("invalidation soak observed stale reads", file=sys.stderr)
+        ok = False
+    if not verdict["accounting_identity_holds"]:
+        print("fleet accounting identity (requests == hits + misses) "
+              "does not hold", file=sys.stderr)
+        ok = False
+    return 0 if ok else 1
 
 
 def _cmd_bench_hotpath(args: argparse.Namespace) -> int:

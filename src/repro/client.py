@@ -19,8 +19,15 @@ Failures map to three exceptions:
   :class:`~repro.server.protocol.ErrorCode`); the connection stays usable.
 * :class:`RetryAfter` — the server refused the request under load
   (``.reason``, ``.hint_ms``); back off and retry.
-* :class:`ConnectionLost` — the transport died; every outstanding
-  request fails with it.
+* :class:`ConnectionLost` — the transport died; *every* outstanding
+  request fails with it, whether the loss surfaced on the read side (the
+  reader hit EOF or garbage) or the write side (a send failed
+  mid-pipeline), and the client refuses further use.  The sync
+  :class:`PageClient` additionally *reconnects* through a
+  :class:`~repro.storage.retry.RetryPolicy` and replays the failed call —
+  every operation is an idempotent full-page read or install, so a replay
+  is always safe — surfacing :class:`ConnectionLost` only once the policy
+  is exhausted.
 """
 
 from __future__ import annotations
@@ -29,7 +36,10 @@ import asyncio
 import itertools
 import json
 import threading
+import time
 from typing import TYPE_CHECKING
+
+from repro.storage.retry import RetryPolicy
 
 from repro.server.protocol import (
     MAX_BATCH,
@@ -97,6 +107,10 @@ class AsyncPageClient:
         self._request_ids = itertools.count(1)
         self._pending: dict[int, asyncio.Future] = {}
         self._closed = False
+        # Set to the ConnectionLost that killed the transport; a dead
+        # client fails every later request immediately instead of writing
+        # into a broken pipe.
+        self._dead: ConnectionLost | None = None
         # Whether the server speaks FETCH_MANY/UPDATE_MANY: unknown until
         # the first batched call, then remembered per connection.  An old
         # server answers ``ERROR/UNKNOWN_OP`` (batches are well-formed
@@ -144,6 +158,15 @@ class AsyncPageClient:
         self._fail_pending(error)
 
     def _fail_pending(self, error: BaseException) -> None:
+        """The transport is gone: reject *all* in-flight futures.
+
+        Pipelining means many requests share one stream — once it dies,
+        no outstanding response can ever arrive, so every pending future
+        gets the same typed :class:`ConnectionLost` and the client is
+        latched dead.
+        """
+        if isinstance(error, ConnectionLost) and self._dead is None:
+            self._dead = error
         pending, self._pending = self._pending, {}
         for future in pending.values():
             if not future.done():
@@ -152,6 +175,8 @@ class AsyncPageClient:
     async def _request(self, op: Op, payload: bytes = b"") -> bytes:
         if self._closed:
             raise ConnectionLost("client is closed")
+        if self._dead is not None:
+            raise ConnectionLost(str(self._dead))
         request_id = next(self._request_ids)
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
@@ -159,7 +184,9 @@ class AsyncPageClient:
             self._writer.write(encode_request(op, request_id, payload))
             await self._writer.drain()
         except (ConnectionError, OSError) as exc:
-            self._pending.pop(request_id, None)
+            # A failed send means the stream is broken for everyone
+            # pipelined behind it, not just this request.
+            self._fail_pending(ConnectionLost(f"connection lost: {exc}"))
             raise ConnectionLost(f"connection lost: {exc}") from exc
         return await future
 
@@ -185,6 +212,19 @@ class AsyncPageClient:
     async def fetch(self, page_id: "PageId") -> "Page":
         blob = await self._request(Op.FETCH, pack_page_id(page_id))
         return decode_page(blob, page_id)
+
+    async def fetch_blob(self, page_id: "PageId") -> bytes:
+        """Fetch a page's *encoded bytes* without decoding them.
+
+        The cluster forwarding path uses this: a node relaying a fetch to
+        the owner hands the blob straight back to its own client, so the
+        page is decoded exactly once — at the final consumer.
+        """
+        return await self._request(Op.FETCH, pack_page_id(page_id))
+
+    async def update_blob(self, page_id: "PageId", blob: bytes) -> None:
+        """Install already-encoded page bytes (forwarding counterpart)."""
+        await self._request(Op.UPDATE, pack_page_id(page_id) + blob)
 
     async def update(self, page: "Page") -> None:
         payload = pack_page_id(page.page_id) + encode_page(page, self.page_size)
@@ -279,7 +319,17 @@ class AsyncPageClient:
 
 
 class PageClient:
-    """Synchronous page-service client (event loop on a daemon thread)."""
+    """Synchronous page-service client (event loop on a daemon thread).
+
+    A lost connection is handled, not surfaced: the failed operation
+    raises :class:`ConnectionLost` inside, the client reconnects with the
+    backoff schedule of ``retry`` (a
+    :class:`~repro.storage.retry.RetryPolicy`; the storage layer's
+    default when omitted) and replays the call.  Replays are safe because
+    every operation is an idempotent full-page read or install.  Only
+    when the policy's attempts are exhausted does the caller see the
+    :class:`ConnectionLost` — never a raw socket error.
+    """
 
     def __init__(
         self,
@@ -288,8 +338,13 @@ class PageClient:
         *,
         page_size: int = 4096,
         timeout: float = 30.0,
+        retry: "RetryPolicy | None" = None,
     ) -> None:
         self.timeout = timeout
+        self._host = host
+        self._port = port
+        self._page_size = page_size
+        self._retry = retry if retry is not None else RetryPolicy()
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
             target=self._loop.run_forever, name="page-client-loop", daemon=True
@@ -312,31 +367,65 @@ class PageClient:
         self._thread.join(5.0)
         self._loop.close()
 
+    def _reconnect(self) -> None:
+        # The old client stays in place until the new connection exists,
+        # so a failed reconnect leaves a dead-latched client (every call
+        # raises ConnectionLost) rather than a half-built one.
+        old = self._client
+        try:
+            self._call(old.close())
+        except Exception:  # noqa: BLE001 - the transport is already gone
+            pass
+        self._client = self._call(
+            AsyncPageClient.connect(
+                self._host, self._port, page_size=self._page_size
+            )
+        )
+
+    def _op(self, factory):
+        """Run ``factory(client)``; on ConnectionLost reconnect and replay."""
+        try:
+            return self._call(factory(self._client))
+        except ConnectionLost as exc:
+            failure = exc
+        for attempt in range(1, self._retry.attempts):
+            time.sleep(self._retry.delay(attempt))
+            try:
+                self._reconnect()
+                return self._call(factory(self._client))
+            except (ConnectionLost, ConnectionError, OSError) as exc:
+                failure = (
+                    exc
+                    if isinstance(exc, ConnectionLost)
+                    else ConnectionLost(f"reconnect failed: {exc}")
+                )
+        raise failure
+
     # ------------------------------------------------------------------
 
     def fetch(self, page_id: "PageId") -> "Page":
-        return self._call(self._client.fetch(page_id))
+        return self._op(lambda client: client.fetch(page_id))
 
     def update(self, page: "Page") -> None:
-        self._call(self._client.update(page))
+        self._op(lambda client: client.update(page))
 
     def fetch_many(self, page_ids: "list[PageId]") -> "list[Page]":
-        return self._call(self._client.fetch_many(page_ids))
+        return self._op(lambda client: client.fetch_many(page_ids))
 
     def update_many(self, pages: "list[Page]") -> None:
-        self._call(self._client.update_many(pages))
+        self._op(lambda client: client.update_many(pages))
 
     def pin(self, page_id: "PageId") -> None:
-        self._call(self._client.pin(page_id))
+        self._op(lambda client: client.pin(page_id))
 
     def unpin(self, page_id: "PageId") -> None:
-        self._call(self._client.unpin(page_id))
+        self._op(lambda client: client.unpin(page_id))
 
     def commit(self) -> int:
-        return self._call(self._client.commit())
+        return self._op(lambda client: client.commit())
 
     def stats(self) -> dict:
-        return self._call(self._client.stats())
+        return self._op(lambda client: client.stats())
 
     def close(self) -> None:
         if self._loop.is_closed():

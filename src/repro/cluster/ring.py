@@ -1,0 +1,364 @@
+"""Consistent-hash page ownership: :class:`HashRing` and :class:`ClusterMap`.
+
+Ownership is decided in two steps so that clients and servers can agree
+on it without coordination:
+
+* page id → **slot**: a stable hash (BLAKE2b — never Python ``hash()``,
+  which is randomised per process) modulo a fixed slot space
+  (:data:`DEFAULT_SLOTS`).  The slot space never changes, so routing
+  tables are tiny dense arrays and membership changes only remap slots,
+  never re-hash pages.
+* slot → **node**: classic consistent hashing with virtual nodes, plus
+  a bounded-load pass.  Each slot hashes to a point on the ring and is
+  claimed by the next virtual node whose owner is still under a load
+  cap of ``balance × slots / n``; a final floor-fill pass tops up any
+  node below ``slots / (n × balance)``.  Both bounds hold *by
+  construction*, so max/min owned slots ≤ ``balance²`` (≈1.21 at the
+  default 1.10) — comfortably inside the 1.3 budget the tests enforce —
+  rather than relying on vnode statistics.
+
+The :class:`ClusterMap` wraps a ring with the membership document the
+fleet shares: an epoch number, node → address table, the replica fan-out
+K, and the optional far-memory node (which owns no slots).  It is JSON
+round-trippable because the OWNERSHIP opcode ships it over the wire.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+DEFAULT_SLOTS = 4096
+DEFAULT_VNODES = 128
+DEFAULT_BALANCE = 1.10
+
+
+def stable_hash(data: bytes) -> int:
+    """A process-independent 64-bit hash (BLAKE2b digest prefix)."""
+
+    return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "big")
+
+
+def page_slot(page_id: int, slots: int = DEFAULT_SLOTS) -> int:
+    """Map a page id to its slot; stable across processes and platforms."""
+
+    return stable_hash(b"page:%d" % page_id) % slots
+
+
+class HashRing:
+    """Consistent-hash ring assigning a fixed slot space to nodes.
+
+    The assignment is a pure function of ``(sorted nodes, vnodes,
+    slots, balance)`` — no randomness, no process state — so every
+    client and server that holds the same membership computes the same
+    owner for every page.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[str],
+        *,
+        vnodes: int = DEFAULT_VNODES,
+        slots: int = DEFAULT_SLOTS,
+        balance: float = DEFAULT_BALANCE,
+    ) -> None:
+        members = sorted(set(nodes))
+        if not members:
+            raise ValueError("HashRing requires at least one node")
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        if slots < len(members):
+            raise ValueError("slot space smaller than node count")
+        if balance < 1.0:
+            raise ValueError("balance factor must be >= 1.0")
+        self.nodes: Tuple[str, ...] = tuple(members)
+        self.vnodes = vnodes
+        self.slots = slots
+        self.balance = balance
+        self._points: List[Tuple[int, str]] = []
+        for node in self.nodes:
+            for replica in range(vnodes):
+                point = stable_hash(f"{node}#{replica}".encode())
+                self._points.append((point, node))
+        # Ties between distinct (node, replica) pairs are broken by node
+        # id so the walk order is total and deterministic.
+        self._points.sort()
+        self._hashes = [point for point, _ in self._points]
+        self.slot_owner: List[str] = self._assign()
+
+    # -- assignment ---------------------------------------------------
+
+    def _assign(self) -> List[str]:
+        n = len(self.nodes)
+        cap = max(1, -(-int(self.slots * self.balance) // n))  # ceil
+        load: Dict[str, int] = {node: 0 for node in self.nodes}
+        owner: List[str] = [""] * self.slots
+        points = self._points
+        hashes = self._hashes
+        npoints = len(points)
+        for slot in range(self.slots):
+            start = bisect_right(hashes, stable_hash(b"slot:%d" % slot)) % npoints
+            for step in range(npoints):
+                node = points[(start + step) % npoints][1]
+                if load[node] < cap:
+                    owner[slot] = node
+                    load[node] += 1
+                    break
+            else:  # pragma: no cover - cap * n >= slots by construction
+                raise RuntimeError("slot assignment overflow")
+        # Floor-fill: guarantee no node falls below slots/(n*balance).
+        # Donors shed their highest-numbered slots first; both the donor
+        # and recipient orders are deterministic.
+        lo = int(self.slots / (n * self.balance))
+        needy = sorted(node for node in self.nodes if load[node] < lo)
+        for node in needy:
+            while load[node] < lo:
+                donor = max(self.nodes, key=lambda d: (load[d], d))
+                if load[donor] <= lo:
+                    break
+                for slot in range(self.slots - 1, -1, -1):
+                    if owner[slot] == donor:
+                        owner[slot] = node
+                        load[donor] -= 1
+                        load[node] += 1
+                        break
+        return owner
+
+    # -- lookups ------------------------------------------------------
+
+    def owner_of_slot(self, slot: int) -> str:
+        return self.slot_owner[slot]
+
+    def owner(self, page_id: int) -> str:
+        """The node that owns ``page_id``."""
+
+        return self.slot_owner[page_slot(page_id, self.slots)]
+
+    def preference(self, page_id: int, count: int) -> List[str]:
+        """Owner followed by up to ``count - 1`` distinct successor nodes.
+
+        The successors (used as replica targets) are the distinct nodes
+        met walking the virtual-node ring clockwise from the page's
+        point, skipping the owner.  Deterministic for a fixed ring.
+        """
+
+        slot = page_slot(page_id, self.slots)
+        primary = self.slot_owner[slot]
+        result = [primary]
+        if count <= 1 or len(self.nodes) == 1:
+            return result
+        start = bisect_right(self._hashes, stable_hash(b"slot:%d" % slot)) % len(
+            self._points
+        )
+        for step in range(len(self._points)):
+            node = self._points[(start + step) % len(self._points)][1]
+            if node not in result:
+                result.append(node)
+                if len(result) >= count:
+                    break
+        return result
+
+    def owned_slots(self, node: str) -> int:
+        """How many slots ``node`` currently owns."""
+
+        return sum(1 for owner in self.slot_owner if owner == node)
+
+    def load_by_node(self) -> Dict[str, int]:
+        loads = {node: 0 for node in self.nodes}
+        for owner in self.slot_owner:
+            loads[owner] += 1
+        return loads
+
+    def digest(self) -> str:
+        """Hex digest of the full slot table — for cross-process checks."""
+
+        blob = "|".join(self.slot_owner).encode()
+        return hashlib.blake2b(blob, digest_size=16).hexdigest()
+
+
+@dataclass
+class ClusterMap:
+    """Epoch-numbered membership shared by servers and clients.
+
+    ``nodes`` maps node id → ``(host, port)`` for every node including
+    the optional far-memory node; ``data_nodes`` (the ring members) is
+    everything except ``far_node``.  Any membership change goes through
+    :meth:`with_node` / :meth:`without_node`, which return a *new* map
+    with the epoch bumped — the epoch is how the routing client knows a
+    stale ring explains a misdelivered request.
+    """
+
+    epoch: int
+    nodes: Dict[str, Tuple[str, int]]
+    replicas: int = 0
+    far_node: Optional[str] = None
+    vnodes: int = DEFAULT_VNODES
+    slots: int = DEFAULT_SLOTS
+    balance: float = DEFAULT_BALANCE
+    _ring: Optional[HashRing] = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.far_node is not None and self.far_node not in self.nodes:
+            raise ValueError(f"far node {self.far_node!r} not in membership")
+        if not self.data_nodes:
+            raise ValueError("cluster map needs at least one data node")
+        if self.replicas < 0:
+            raise ValueError("replicas must be >= 0")
+
+    @property
+    def data_nodes(self) -> Tuple[str, ...]:
+        return tuple(
+            sorted(node for node in self.nodes if node != self.far_node)
+        )
+
+    @property
+    def ring(self) -> HashRing:
+        if self._ring is None or self._ring.nodes != self.data_nodes:
+            self._ring = HashRing(
+                self.data_nodes,
+                vnodes=self.vnodes,
+                slots=self.slots,
+                balance=self.balance,
+            )
+        return self._ring
+
+    # -- lookups ------------------------------------------------------
+
+    def owner(self, page_id: int) -> str:
+        return self.ring.owner(page_id)
+
+    def replica_nodes(self, page_id: int) -> List[str]:
+        """The nodes (excluding the owner) that may hold read replicas."""
+
+        if self.replicas <= 0:
+            return []
+        return self.ring.preference(page_id, 1 + self.replicas)[1:]
+
+    def preference(self, page_id: int, count: int) -> List[str]:
+        return self.ring.preference(page_id, count)
+
+    def address(self, node_id: str) -> Tuple[str, int]:
+        return self.nodes[node_id]
+
+    def set_address(self, node_id: str, host: str, port: int) -> None:
+        """Fill in a node's bound address (bootstrap only; no epoch bump)."""
+
+        if node_id not in self.nodes:
+            raise KeyError(node_id)
+        self.nodes[node_id] = (host, port)
+
+    def owned_slots(self, node_id: str) -> int:
+        if node_id == self.far_node or node_id not in self.nodes:
+            return 0
+        return self.ring.owned_slots(node_id)
+
+    # -- membership changes -------------------------------------------
+
+    def with_node(self, node_id: str, host: str, port: int) -> "ClusterMap":
+        if node_id in self.nodes:
+            raise ValueError(f"node {node_id!r} already in membership")
+        nodes = dict(self.nodes)
+        nodes[node_id] = (host, port)
+        return ClusterMap(
+            epoch=self.epoch + 1,
+            nodes=nodes,
+            replicas=self.replicas,
+            far_node=self.far_node,
+            vnodes=self.vnodes,
+            slots=self.slots,
+            balance=self.balance,
+        )
+
+    def without_node(self, node_id: str) -> "ClusterMap":
+        if node_id not in self.nodes:
+            raise KeyError(node_id)
+        if node_id == self.far_node:
+            nodes = dict(self.nodes)
+            del nodes[node_id]
+            return ClusterMap(
+                epoch=self.epoch + 1,
+                nodes=nodes,
+                replicas=self.replicas,
+                far_node=None,
+                vnodes=self.vnodes,
+                slots=self.slots,
+                balance=self.balance,
+            )
+        nodes = dict(self.nodes)
+        del nodes[node_id]
+        return ClusterMap(
+            epoch=self.epoch + 1,
+            nodes=nodes,
+            replicas=self.replicas,
+            far_node=self.far_node,
+            vnodes=self.vnodes,
+            slots=self.slots,
+            balance=self.balance,
+        )
+
+    # -- serialisation ------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "epoch": self.epoch,
+            "nodes": {node: list(addr) for node, addr in self.nodes.items()},
+            "replicas": self.replicas,
+            "far_node": self.far_node,
+            "vnodes": self.vnodes,
+            "slots": self.slots,
+            "balance": self.balance,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ClusterMap":
+        nodes = {
+            str(node): (str(addr[0]), int(addr[1]))
+            for node, addr in dict(data["nodes"]).items()  # type: ignore[arg-type]
+        }
+        far = data.get("far_node")
+        return cls(
+            epoch=int(data["epoch"]),  # type: ignore[arg-type]
+            nodes=nodes,
+            replicas=int(data.get("replicas", 0)),  # type: ignore[arg-type]
+            far_node=None if far is None else str(far),
+            vnodes=int(data.get("vnodes", DEFAULT_VNODES)),  # type: ignore[arg-type]
+            slots=int(data.get("slots", DEFAULT_SLOTS)),  # type: ignore[arg-type]
+            balance=float(data.get("balance", DEFAULT_BALANCE)),  # type: ignore[arg-type]
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, blob: str) -> "ClusterMap":
+        return cls.from_dict(json.loads(blob))
+
+    @classmethod
+    def build(
+        cls,
+        node_ids: Iterable[str],
+        *,
+        replicas: int = 0,
+        far_node: Optional[str] = None,
+        vnodes: int = DEFAULT_VNODES,
+        slots: int = DEFAULT_SLOTS,
+        balance: float = DEFAULT_BALANCE,
+        host: str = "127.0.0.1",
+    ) -> "ClusterMap":
+        """A fresh epoch-0 map with unbound addresses (port 0)."""
+
+        nodes = {node: (host, 0) for node in node_ids}
+        if far_node is not None and far_node not in nodes:
+            nodes[far_node] = (host, 0)
+        return cls(
+            epoch=0,
+            nodes=nodes,
+            replicas=replicas,
+            far_node=far_node,
+            vnodes=vnodes,
+            slots=slots,
+            balance=balance,
+        )

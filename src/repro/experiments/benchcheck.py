@@ -314,6 +314,53 @@ def _extract_hotpath(data, source: str):
     return metrics, guards
 
 
+def _extract_cluster(data, source: str):
+    metrics, guards = [], []
+    for prefix, point in _points(
+        data, "points", source, ("nodes", "clients")
+    ):
+        metrics.append(
+            Metric(f"{prefix}.throughput",
+                   _number(point, "throughput", source), "higher",
+                   timing=True)
+        )
+        metrics.append(
+            Metric(f"{prefix}.p99_ms",
+                   _number(point, "p99_ms", source), "lower", timing=True)
+        )
+    metrics.append(
+        Metric("scaling_factor",
+               _number(data, "scaling_factor", source), "higher",
+               timing=True)
+    )
+    metrics.append(
+        Metric("tiered.replica_hit_share",
+               _number(data, "tiered.replica_hit_share", source), "higher",
+               timing=True)
+    )
+    metrics.append(
+        Metric("tiered.far_hit_share",
+               _number(data, "tiered.far_hit_share", source), "higher",
+               timing=True)
+    )
+    guards.append(
+        Guard("soak.stale_reads==0",
+              _number(data, "soak.stale_reads", source) == 0)
+    )
+    for name in (
+        "scaling_factor_geq_2_5x",
+        "zero_stale_reads",
+        "replica_hits_observed",
+        "far_hits_observed",
+        "accounting_identity_holds",
+    ):
+        guards.append(
+            Guard(f"acceptance.{name}",
+                  _boolean(data, f"acceptance.{name}", source))
+        )
+    return metrics, guards
+
+
 #: filename → extractor.  The ``benchmark`` field inside the JSON is the
 #: fallback for reports checked under a non-canonical name.
 EXTRACTORS: "dict[str, Callable]" = {
@@ -323,6 +370,7 @@ EXTRACTORS: "dict[str, Callable]" = {
     "BENCH_tuning.json": _extract_tuning,
     "BENCH_ablation.json": _extract_ablation,
     "BENCH_hotpath.json": _extract_hotpath,
+    "BENCH_cluster.json": _extract_cluster,
 }
 
 _BY_BENCHMARK_FIELD: "dict[str, Callable]" = {
@@ -332,6 +380,7 @@ _BY_BENCHMARK_FIELD: "dict[str, Callable]" = {
     "tuning": _extract_tuning,
     "ablation": _extract_ablation,
     "hotpath": _extract_hotpath,
+    "cluster": _extract_cluster,
 }
 
 

@@ -46,6 +46,7 @@ from repro.server.admission import (
     AdmissionTimeout,
 )
 from repro.server.protocol import (
+    CLUSTER_OPS,
     ErrorCode,
     Op,
     ProtocolError,
@@ -89,6 +90,19 @@ class _Connection:
 
 class PageServer:
     """Serve a :class:`~repro.api.BufferSystem` over TCP."""
+
+    #: Opcodes this server implements.  The cluster-plane opcodes decode
+    #: as valid :class:`Op` members but a single-node server must answer
+    #: them ``ERROR/UNKNOWN_OP`` exactly like a genuinely unknown byte —
+    #: without this set they would fall through ``_run_operation`` and be
+    #: misreported as ``MALFORMED``.  ``ClusterPageServer`` widens it.
+    SUPPORTED_OPS: frozenset = frozenset(Op) - CLUSTER_OPS
+
+    #: Opcodes served directly on the event loop (no admission, no worker
+    #: pool).  Empty here; the cluster server routes its peer-plane
+    #: opcodes through this so replica/invalidation traffic can never
+    #: deadlock against a full admission queue.
+    LOOP_OPS: frozenset = frozenset()
 
     def __init__(
         self,
@@ -296,6 +310,8 @@ class PageServer:
         try:
             operation = Op(op)
         except ValueError:
+            operation = None
+        if operation is None or operation not in self.SUPPORTED_OPS:
             self.responses_error += 1
             await self._respond(
                 connection,
@@ -320,6 +336,12 @@ class PageServer:
                 connection, encode_response(Status.OK, request_id, body)
             )
             return
+        if operation in self.LOOP_OPS:
+            # Peer-plane work: cheap in-memory bookkeeping answered on the
+            # event loop itself, outside admission — see LOOP_OPS.
+            frame = await self._handle_loop_op(operation, request_id, payload)
+            await self._respond(connection, frame)
+            return
         try:
             await self.admission.acquire(connection.client_id)
         except AdmissionRejected as exc:
@@ -342,6 +364,12 @@ class PageServer:
             connection, operation, request_id, payload
         )
         await self._respond(connection, frame)
+
+    async def _handle_loop_op(
+        self, operation: Op, request_id: int, payload: bytes
+    ) -> bytes:
+        """Serve a ``LOOP_OPS`` opcode; only reachable when overridden."""
+        raise NotImplementedError  # pragma: no cover - LOOP_OPS is empty here
 
     async def _execute_admitted(
         self,
@@ -494,8 +522,13 @@ class PageServer:
     # ------------------------------------------------------------------
 
     def stats_snapshot(self) -> dict:
-        """Everything STATS reports: buffer, admission, service counters."""
-        return {
+        """Everything STATS reports: buffer, admission, service counters.
+
+        A cluster-aware server additionally reports a ``node`` block
+        (node id, ring epoch, owned slots, replica counters) via
+        :meth:`_node_stats`; single-node servers omit it.
+        """
+        snapshot = {
             "buffer": self.system.stats_snapshot(),
             "admission": self.admission.snapshot(),
             "server": {
@@ -514,3 +547,11 @@ class PageServer:
                 "pinned": getattr(self.system.buffer, "pinned_count", 0),
             },
         }
+        node = self._node_stats()
+        if node is not None:
+            snapshot["node"] = node
+        return snapshot
+
+    def _node_stats(self) -> dict | None:
+        """The STATS ``node`` block; ``None`` outside a cluster."""
+        return None

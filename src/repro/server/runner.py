@@ -30,13 +30,26 @@ class ServerThread:
 
     def __init__(
         self,
-        system: "BufferSystem",
+        system: "BufferSystem | None" = None,
         *,
+        server: "PageServer | None" = None,
         start_timeout: float = 10.0,
         drain_timeout: float = 10.0,
         **server_kwargs,
     ) -> None:
-        self.server = PageServer(system, **server_kwargs)
+        # Either a system (a PageServer is built around it) or a prebuilt
+        # server (e.g. a ClusterPageServer) — never both.
+        if server is not None:
+            if system is not None or server_kwargs:
+                raise ValueError(
+                    "pass either a prebuilt server= or a system (with "
+                    "server kwargs), not both"
+                )
+            self.server = server
+        elif system is not None:
+            self.server = PageServer(system, **server_kwargs)
+        else:
+            raise ValueError("a system or a prebuilt server= is required")
         self._start_timeout = start_timeout
         self._drain_timeout = drain_timeout
         self._loop: asyncio.AbstractEventLoop | None = None

@@ -259,6 +259,97 @@ class TestMissCoalescing:
         for shard in buffer._shards:
             assert shard.inflight == {}
 
+    def test_install_racing_a_loader_leaves_no_chain_zombie(self):
+        # install() goes straight through the shard lock and never consults
+        # the in-flight table, so it can make a page resident while a miss
+        # loader for the same id is off the lock reading disk.  The loader
+        # must then serve the resident (newer) copy instead of admitting a
+        # second frame — a double admit used to orphan the first frame
+        # inside the recency chain, and the policy would later select it as
+        # a victim that is no longer resident.
+        disk = GatedDisk()
+        for page_id in range(8):
+            disk.store(Page(page_id=page_id, page_type=PageType.DATA))
+        buffer = ConcurrentBufferManager(disk, 4, LRU, shards=1)
+        results = []
+
+        def loader():
+            results.append(buffer.fetch(0))
+
+        thread = threading.Thread(target=loader, daemon=True)
+        thread.start()
+        assert disk.reading.acquire(timeout=10.0)  # loader is inside read()
+        installed = Page(page_id=0, page_type=PageType.DATA)
+        installed.entries.append(
+            PageEntry(mbr=Rect(0, 0, 1, 1), payload="installed")
+        )
+        buffer.install(installed)
+        disk.gate.set()
+        thread.join(timeout=30.0)
+        assert not thread.is_alive()
+
+        # The loader served the installed copy, not its stale disk read.
+        assert results[0] is installed
+        manager = buffer.shard_managers()[0]
+        assert len(manager.frames) == 1
+        assert sum(1 for _ in manager.frames.iter_recency()) == 1
+        # Cycling the pool through many evictions used to hit
+        # "policy selected page X, which is not resident" via the zombie.
+        disk.gate.set()
+        for _ in range(4):
+            for page_id in range(8):
+                buffer.fetch(page_id)
+        assert len(manager.frames) == sum(
+            1 for _ in manager.frames.iter_recency()
+        )
+
+    def test_concurrent_install_fetch_stress_never_corrupts_the_chain(self):
+        # Randomized version of the race above, with an observer attached so
+        # the shard cores run their decomposed (seamed) path.
+        recorder = TraceRecorder()
+        buffer = ConcurrentBufferManager(
+            make_disk(48), 12, LRU, shards=1, observer=recorder
+        )
+        stop = threading.Event()
+        errors = []
+
+        def worker(seed):
+            rng = random.Random(seed)
+
+            def run():
+                try:
+                    while not stop.is_set():
+                        page_id = rng.randrange(48)
+                        if rng.random() < 0.3:
+                            page = Page(
+                                page_id=page_id, page_type=PageType.DATA
+                            )
+                            buffer.install(page)
+                        else:
+                            buffer.fetch(page_id)
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            return run
+
+        threads = [
+            threading.Thread(target=worker(seed), daemon=True)
+            for seed in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        stop.wait(timeout=1.0)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30.0)
+            assert not thread.is_alive()
+        if errors:
+            raise errors[0]
+        manager = buffer.shard_managers()[0]
+        assert len(manager.frames) == sum(
+            1 for _ in manager.frames.iter_recency()
+        )
+
 
 class TestPinnedGuardConcurrent:
     def test_guard_keeps_page_resident_under_pressure(self):

@@ -1,0 +1,199 @@
+"""Property tests for consistent-hash ownership (repro.cluster.ring).
+
+The ring is the contract the whole cluster tier hangs off: every client
+and server must compute the *same* owner for every page, the load must
+stay balanced, and membership changes must move as few slots as
+possible.  These are exactly the three properties pinned down here —
+balance within budget, minimal remap on node add, and cross-process
+determinism (the slot table is a pure function of the membership, never
+of ``PYTHONHASHSEED``).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.ring import (
+    ClusterMap,
+    HashRing,
+    page_slot,
+    stable_hash,
+)
+
+# A smaller slot space keeps ring construction cheap under hypothesis;
+# the balance bounds hold by construction at any slot count >= nodes.
+SLOTS = 1024
+
+node_counts = st.integers(min_value=2, max_value=8)
+vnode_counts = st.sampled_from([128, 192, 256])
+
+
+def make_nodes(count: int) -> list[str]:
+    return [f"node-{index}" for index in range(count)]
+
+
+class TestBalance:
+    @settings(max_examples=25, deadline=None)
+    @given(count=node_counts, vnodes=vnode_counts)
+    def test_max_load_within_1_3x_of_fair_share(self, count, vnodes):
+        ring = HashRing(make_nodes(count), vnodes=vnodes, slots=SLOTS)
+        loads = ring.load_by_node()
+        fair = SLOTS / count
+        assert max(loads.values()) <= 1.3 * fair
+        assert min(loads.values()) >= fair / 1.3
+
+    @settings(max_examples=25, deadline=None)
+    @given(count=node_counts, vnodes=vnode_counts)
+    def test_every_slot_is_owned_by_a_member(self, count, vnodes):
+        nodes = make_nodes(count)
+        ring = HashRing(nodes, vnodes=vnodes, slots=SLOTS)
+        assert set(ring.slot_owner) <= set(nodes)
+        assert sum(ring.load_by_node().values()) == SLOTS
+
+
+class TestMinimalRemap:
+    @settings(max_examples=20, deadline=None)
+    @given(count=st.integers(min_value=2, max_value=7))
+    def test_adding_a_node_moves_less_than_2_over_n_of_slots(self, count):
+        before = HashRing(make_nodes(count), slots=SLOTS)
+        after = HashRing(make_nodes(count + 1), slots=SLOTS)
+        moved = sum(
+            1
+            for slot in range(SLOTS)
+            if before.slot_owner[slot] != after.slot_owner[slot]
+        )
+        # An ideal consistent hash moves slots/(n+1); the bounded-load
+        # and floor-fill passes may shuffle a little more, but never
+        # anywhere near a full rehash.  Budget: twice the ideal.
+        assert moved < 2 * SLOTS / (count + 1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(count=st.integers(min_value=3, max_value=8))
+    def test_removing_a_node_only_reassigns_its_own_slots_mostly(self, count):
+        nodes = make_nodes(count)
+        before = HashRing(nodes, slots=SLOTS)
+        after = HashRing(nodes[:-1], slots=SLOTS)
+        lost = nodes[-1]
+        moved_from_survivors = sum(
+            1
+            for slot in range(SLOTS)
+            if before.slot_owner[slot] != after.slot_owner[slot]
+            and before.slot_owner[slot] != lost
+        )
+        # Slots owned by the departed node *must* move; survivor-owned
+        # slots should mostly stay put (same 2/n churn budget).
+        assert moved_from_survivors < 2 * SLOTS / count
+
+
+class TestDeterminism:
+    def test_identical_inputs_build_identical_tables(self):
+        first = HashRing(make_nodes(5), slots=SLOTS)
+        second = HashRing(list(reversed(make_nodes(5))), slots=SLOTS)
+        assert first.slot_owner == second.slot_owner
+        assert first.digest() == second.digest()
+
+    def test_stable_hash_is_not_python_hash(self):
+        # Pinned values: if these change, every deployed routing table
+        # disagrees with every new one.
+        assert stable_hash(b"page:0") == 0xE3A99DD57A1CD85D
+        assert stable_hash(b"slot:0") == 0xCFEBFA33B0F0353C
+
+    def test_digest_is_stable_across_processes(self):
+        ring = HashRing(make_nodes(4), slots=SLOTS)
+        src = Path(__file__).resolve().parents[1] / "src"
+        script = (
+            "from repro.cluster.ring import HashRing;"
+            f"nodes = [f'node-{{i}}' for i in range(4)];"
+            f"print(HashRing(nodes, slots={SLOTS}).digest())"
+        )
+        env = dict(os.environ, PYTHONPATH=str(src), PYTHONHASHSEED="12345")
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        assert out.stdout.strip() == ring.digest()
+
+    @settings(max_examples=50, deadline=None)
+    @given(page_id=st.integers(min_value=0, max_value=2**40))
+    def test_page_slot_in_range_and_deterministic(self, page_id):
+        slot = page_slot(page_id, SLOTS)
+        assert 0 <= slot < SLOTS
+        assert slot == page_slot(page_id, SLOTS)
+
+
+class TestPreference:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        count=st.integers(min_value=2, max_value=6),
+        page_id=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_preference_is_distinct_and_starts_with_the_owner(
+        self, count, page_id
+    ):
+        ring = HashRing(make_nodes(count), slots=SLOTS)
+        prefs = ring.preference(page_id, count)
+        assert prefs[0] == ring.owner(page_id)
+        assert len(prefs) == len(set(prefs)) == count
+
+
+class TestValidation:
+    def test_rejects_empty_membership(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+
+    def test_rejects_degenerate_parameters(self):
+        with pytest.raises(ValueError):
+            HashRing(["a"], vnodes=0)
+        with pytest.raises(ValueError):
+            HashRing(["a", "b"], slots=1)
+        with pytest.raises(ValueError):
+            HashRing(["a"], balance=0.9)
+
+
+class TestClusterMap:
+    def build_map(self) -> ClusterMap:
+        return ClusterMap.build(
+            ["node-0", "node-1", "node-2"],
+            replicas=1,
+            far_node="far",
+            slots=SLOTS,
+        )
+
+    def test_membership_changes_bump_the_epoch(self):
+        base = self.build_map()
+        grown = base.with_node("node-3", "127.0.0.1", 9999)
+        shrunk = grown.without_node("node-3")
+        assert (base.epoch, grown.epoch, shrunk.epoch) == (0, 1, 2)
+        assert "node-3" in grown.nodes and "node-3" not in shrunk.nodes
+
+    def test_far_node_owns_no_slots(self):
+        cmap = self.build_map()
+        assert cmap.far_node == "far"
+        assert "far" not in cmap.data_nodes
+        assert cmap.owned_slots("far") == 0
+        assert sum(cmap.owned_slots(node) for node in cmap.data_nodes) == SLOTS
+
+    def test_replica_nodes_exclude_the_owner(self):
+        cmap = self.build_map()
+        for page_id in range(64):
+            owner = cmap.owner(page_id)
+            replicas = cmap.replica_nodes(page_id)
+            assert len(replicas) == 1
+            assert owner not in replicas
+            assert replicas[0] in cmap.data_nodes
+
+    def test_json_round_trip_preserves_routing(self):
+        cmap = self.build_map()
+        clone = ClusterMap.from_json(cmap.to_json())
+        assert clone == cmap
+        assert clone.ring.digest() == cmap.ring.digest()
