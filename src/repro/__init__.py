@@ -47,16 +47,20 @@ from repro.access import (
     FullPageAccessor,
     PageAccessor,
 )
-from repro.api import BufferSystem, build_buffer_system
+from repro.api import BufferSystem, ClusterSystem, build_buffer_system
 from repro.buffer.concurrent import ConcurrentBufferManager
 from repro.buffer.manager import BufferFullError, BufferManager
 from repro.buffer.policies import (
+    ParamSpec,
+    UnknownPolicyError,
     make_policy,
     policy_names,
+    policy_param_space,
 )
 from repro.buffer.policies import (
     ARC,
     ASB,
+    AWRP,
     FIFO,
     LFU,
     LRU,
@@ -67,6 +71,8 @@ from repro.buffer.policies import (
     SLRU,
     Clock,
     DomainSeparation,
+    EEvA,
+    EnsemblePolicy,
     GClock,
     RandomPolicy,
     SpatialPolicy,
@@ -82,6 +88,7 @@ from repro.obs import (
     WindowedMetrics,
 )
 from repro.sam.gridfile import GridFile
+from repro.tuning import FittedWeights, TuningSpec, fit_weights
 from repro.sam.quadtree import Quadtree
 from repro.sam.rstar import RStarTree
 from repro.sam.rtree import RTree
@@ -114,10 +121,21 @@ __all__ = [
     "BufferFullError",
     # facade
     "BufferSystem",
+    "ClusterSystem",
     "build_buffer_system",
+    # self-tuning
+    "TuningSpec",
+    "FittedWeights",
+    "fit_weights",
     # policies
     "make_policy",
     "policy_names",
+    "policy_param_space",
+    "ParamSpec",
+    "UnknownPolicyError",
+    "AWRP",
+    "EEvA",
+    "EnsemblePolicy",
     "LRU",
     "FIFO",
     "Clock",

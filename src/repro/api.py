@@ -28,6 +28,7 @@ experiment harness all construct through this facade.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Mapping
 
@@ -142,13 +143,19 @@ class BufferSystem:
             ``system.recorder``); any event sink is attached as-is.
         ``tuning``
             ``None`` (default) keeps the buffer static — bit-identical
-            to every pre-tuning build.  ``True`` attaches a
-            :class:`~repro.tuning.TuningController` with default
-            settings; a :class:`~repro.tuning.TuningConfig` attaches one
-            with those settings.  The controller shadows the live
-            reference stream with ghost caches and may retune the live
-            policy or hand the buffer to a better one (exposed as
-            ``system.tuner``).
+            to every pre-tuning build.  A
+            :class:`~repro.tuning.TuningSpec` is the typed surface:
+            ``TuningSpec()`` attaches a default winner-take-all
+            controller, ``TuningSpec(mode="ensemble", ...)`` replaces
+            the policy with an
+            :class:`~repro.tuning.EnsemblePolicy` over the spec's
+            experts and re-weights its mixture per epoch (optionally
+            seeded from an offline-fitted ``weights_path`` artifact).
+            A raw :class:`~repro.tuning.TuningConfig` is the advanced
+            controller surface and passes through unchanged.  The
+            legacy spellings — ``tuning=True`` and a plain options
+            mapping — still work behind a ``DeprecationWarning`` shim.
+            The controller is exposed as ``system.tuner``.
         ``coalescing``
             ``True`` (default) keeps per-shard miss coalescing: one disk
             read per concurrent miss group, waiters served from the
@@ -204,6 +211,10 @@ class BufferSystem:
 
         # --- policy + buffer -------------------------------------------
         policy_kwargs = dict(policy_kwargs or {})
+        tuning = cls._normalise_tuning(tuning)
+        policy, policy_kwargs = cls._apply_ensemble_mode(
+            policy, policy_kwargs, tuning
+        )
         if isinstance(policy, str):
             policy_name = policy
             factory = lambda: make_policy(policy_name, **policy_kwargs)  # noqa: E731
@@ -262,18 +273,12 @@ class BufferSystem:
             )
         # --- self-tuning -----------------------------------------------
         tuner = None
-        if tuning is not None and tuning is not False:
-            from repro.tuning import TuningConfig, TuningController
+        if tuning is not None:
+            from repro.tuning import TuningController, TuningSpec
 
-            if tuning is True:
-                config = None
-            elif isinstance(tuning, TuningConfig):
-                config = tuning
-            else:
-                raise TypeError(
-                    "tuning must be None/True or a TuningConfig; got "
-                    f"{type(tuning).__name__}"
-                )
+            config = (
+                tuning.to_config() if isinstance(tuning, TuningSpec) else tuning
+            )
             # The concurrent service wraps the observer in a LockingSink;
             # the controller must emit through the wrapped sink.
             tuner = TuningController(
@@ -296,6 +301,101 @@ class BufferSystem:
             tuner=tuner,
             admission=admission_controller,
         )
+
+    @staticmethod
+    def _normalise_tuning(tuning: object) -> object | None:
+        """Normalise ``tuning=`` to a TuningSpec/TuningConfig (or None).
+
+        The typed surfaces (:class:`~repro.tuning.TuningSpec`, raw
+        :class:`~repro.tuning.TuningConfig`) pass through; the legacy
+        ``True`` and plain-mapping spellings are converted behind a
+        ``DeprecationWarning``, mirroring the SLRU/ASB keyword
+        normalisation of the policy layer.
+        """
+        if tuning is None or tuning is False:
+            return None
+        from repro.tuning import TuningConfig, TuningSpec
+
+        if isinstance(tuning, (TuningSpec, TuningConfig)):
+            return tuning
+        if tuning is True:
+            warnings.warn(
+                "tuning=True is deprecated; pass tuning=TuningSpec()",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            return TuningSpec()
+        if isinstance(tuning, Mapping):
+            warnings.warn(
+                "tuning={...} is deprecated; pass "
+                "tuning=TuningSpec(**options)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            return TuningSpec.from_mapping(tuning)
+        raise TypeError(
+            "tuning must be None, a TuningSpec, or a TuningConfig "
+            "(legacy: True or a mapping of TuningSpec options); got "
+            f"{type(tuning).__name__}"
+        )
+
+    @staticmethod
+    def _apply_ensemble_mode(
+        policy: "str | ReplacementPolicy | Callable[[], ReplacementPolicy]",
+        policy_kwargs: dict,
+        tuning: object | None,
+    ) -> tuple:
+        """Fold an ensemble-mode TuningSpec into the policy arguments.
+
+        ``TuningSpec(mode="ensemble")`` means the live policy must be an
+        :class:`~repro.tuning.EnsemblePolicy`.  A policy *name* is folded
+        into the expert panel (the named policy leads, the spec's experts
+        follow, duplicates dropped); ``policy="ENSEMBLE"`` keeps its own
+        ``policy_kwargs``; ready instances and factories pass through
+        untouched (the controller validates them at attach time).
+        ``weights_path`` seeds the mixture with the offline-fitted
+        weights.
+        """
+        from repro.tuning import TuningSpec
+
+        if not (isinstance(tuning, TuningSpec) and tuning.mode == "ensemble"):
+            return policy, policy_kwargs
+        if not isinstance(policy, str):
+            # An EnsemblePolicy instance or factory already fixes the
+            # panel; a spec trying to override it would be ignored
+            # silently — refuse instead.
+            if tuning.experts is not None or tuning.weights_path is not None:
+                raise ValueError(
+                    "ensemble experts/weights_path can only be applied to "
+                    "a policy *name*; pass them to the EnsemblePolicy "
+                    "constructor instead"
+                )
+            return policy, policy_kwargs
+        name = policy.strip().upper()
+        if name == "ENSEMBLE":
+            kwargs = dict(policy_kwargs)
+            kwargs.setdefault("experts", tuning.resolved_experts())
+        else:
+            if policy_kwargs:
+                raise ValueError(
+                    'mode="ensemble" folds the policy name into the expert '
+                    "panel, where per-policy kwargs cannot follow; pass "
+                    "policy='ENSEMBLE' with policy_kwargs={'experts': "
+                    "[...]} to configure experts explicitly"
+                )
+            panel: list[str] = []
+            for expert in (name, *tuning.resolved_experts()):
+                if expert not in panel:
+                    panel.append(expert)
+            kwargs = {"experts": tuple(panel)}
+        if tuning.weights_path is not None and "weights" not in kwargs:
+            from repro.tuning import FittedWeights
+
+            experts = kwargs["experts"]
+            if all(isinstance(expert, str) for expert in experts):
+                fitted = FittedWeights.load(tuning.weights_path)
+                kwargs["weights"] = fitted.weights_for(experts)
+        return "ENSEMBLE", kwargs
 
     @staticmethod
     def _apply_writeback(

@@ -14,7 +14,11 @@ The policy zoo follows the paper's taxonomy:
 * spatial (Section 2.3) — :class:`SpatialPolicy` with criteria A, EA, M,
   EM, EO;
 * combined (Section 4.1) — :class:`SLRU` with a static candidate set;
-* self-tuning (Section 4.2) — :class:`ASB`, the adaptable spatial buffer.
+* self-tuning (Section 4.2) — :class:`ASB`, the adaptable spatial buffer;
+* expert-based (PAPERS.md) — :class:`AWRP` (frequency×recency weight
+  ranking, Swain 2011), :class:`EEvA` (weighted expert retention
+  scoring, Demin 2024) and :class:`EnsemblePolicy`, the weighted
+  expert-vote mixture the tuning controller steers per epoch.
 """
 
 from __future__ import annotations
@@ -25,9 +29,12 @@ from typing import Callable
 
 from repro.buffer.policies.arc import ARC
 from repro.buffer.policies.asb import ASB
+from repro.buffer.policies.awrp import AWRP
 from repro.buffer.policies.base import ReplacementPolicy
 from repro.buffer.policies.clock import Clock
 from repro.buffer.policies.domain_separation import DomainSeparation
+from repro.buffer.policies.eeva import EEvA
+from repro.buffer.policies.ensemble import DEFAULT_EXPERTS, EnsemblePolicy
 from repro.buffer.policies.fifo import FIFO
 from repro.buffer.policies.gclock import GClock
 from repro.buffer.policies.lfu import LFU
@@ -48,6 +55,22 @@ from repro.buffer.policies.two_q import TwoQ
 # ----------------------------------------------------------------------
 # The policy registry: one construction path for the whole zoo
 # ----------------------------------------------------------------------
+
+
+class UnknownPolicyError(ValueError):
+    """A policy name (or alias) is not in :data:`POLICY_REGISTRY`.
+
+    Subclasses :class:`ValueError` so existing ``except ValueError``
+    call sites keep working; catch this name to distinguish a bad policy
+    name from a bad parameter value.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.policy_name = name
+        super().__init__(
+            f"unknown policy {name!r}; known policies: "
+            + ", ".join(policy_names())
+        )
 
 
 @dataclass(frozen=True)
@@ -292,6 +315,64 @@ def _specs() -> dict[str, PolicySpec]:
         ),
         PolicySpec("ARC", ARC, description="adaptive replacement cache"),
         PolicySpec(
+            "AWRP",
+            AWRP,
+            params=(
+                ParamSpec(
+                    "decay", kind="float", default=1.0,
+                    lo=0.0, hi=8.0, retunable=True,
+                    description="recency exponent of the weight ranking "
+                                "(0 = pure LFU, large = LRU-like)",
+                ),
+            ),
+            description="adaptive weight ranking: frequency x recency "
+                        "(Swain 2011)",
+        ),
+        PolicySpec(
+            "EEVA",
+            EEvA,
+            params=(
+                ParamSpec(
+                    "recency_weight", kind="float", default=1.0,
+                    lo=0.0, hi=16.0, retunable=True,
+                    description="weight of the recency expert",
+                ),
+                ParamSpec(
+                    "frequency_weight", kind="float", default=1.0,
+                    lo=0.0, hi=16.0, retunable=True,
+                    description="weight of the frequency expert",
+                ),
+                ParamSpec(
+                    "level_weight", kind="float", default=0.5,
+                    lo=0.0, hi=16.0, retunable=True,
+                    description="weight of the tree-level expert",
+                ),
+            ),
+            aliases=("EEVA-BASE",),
+            description="weighted expert retention scoring (Demin 2024)",
+        ),
+        PolicySpec(
+            "ENSEMBLE",
+            EnsemblePolicy,
+            params=(
+                ParamSpec(
+                    "experts",
+                    kind="object",
+                    description="expert policy names or instances "
+                                f"(default: {', '.join(DEFAULT_EXPERTS)})",
+                ),
+                ParamSpec(
+                    "weights",
+                    kind="object",
+                    retunable=True,
+                    description="per-expert mixture weights "
+                                "(normalised to sum to one)",
+                ),
+            ),
+            description="weighted expert-vote mixture steered by the "
+                        "tuning controller",
+        ),
+        PolicySpec(
             "DOMAIN",
             DomainSeparation,
             params=(
@@ -373,10 +454,7 @@ def policy_param_space(name: str | None = None) -> dict:
             if _LRU_K_NAME.match(key):
                 spec = POLICY_REGISTRY["LRU-K"]
             else:
-                raise ValueError(
-                    f"unknown policy {name!r}; known policies: "
-                    + ", ".join(policy_names())
-                )
+                raise UnknownPolicyError(name)
         return {param.name: param for param in spec.params}
     return {
         spec.name: {param.name: param for param in spec.params}
@@ -404,10 +482,7 @@ def make_policy(name: str, **kwargs) -> ReplacementPolicy:
         match = _LRU_K_NAME.match(key)
         if match:
             return LRUK(k=int(match.group(1)), **kwargs)
-        raise ValueError(
-            f"unknown policy {name!r}; known policies: "
-            + ", ".join(policy_names())
-        )
+        raise UnknownPolicyError(name)
     return spec.build(**kwargs)
 
 
@@ -416,9 +491,14 @@ __all__ = [
     "ParamSpec",
     "PolicySpec",
     "POLICY_REGISTRY",
+    "UnknownPolicyError",
     "make_policy",
     "policy_names",
     "policy_param_space",
+    "AWRP",
+    "EEvA",
+    "EnsemblePolicy",
+    "DEFAULT_EXPERTS",
     "LRU",
     "ARC",
     "TwoQ",

@@ -1,0 +1,83 @@
+"""AWRP — the Adaptive Weight Ranking Policy (Swain et al., 2011).
+
+AWRP ranks every resident page by a single *weight* that folds frequency
+and recency into one number: pages referenced often and recently carry a
+high weight and stay, pages whose references are sparse or stale decay
+towards zero and go.  The reference formulation (arXiv:1107.4851) tracks
+a frequency counter per resident page and normalises it by the page's
+age since the last reference; the victim is the minimum-weight page.
+
+The reproduction computes
+
+    weight(p) = access_count(p) / (clock - last_access(p) + 1) ** decay
+
+from frame metadata alone — the access counter and the logical access
+timestamps the buffer already maintains — so the policy carries **no
+internal state**: it runs bit-identically on the metadata-only ghost
+caches (:mod:`repro.tuning.ghost`), survives live hand-offs without a
+seeding step, and its ``decay`` knob retunes in place.
+
+``decay`` steers the frequency/recency balance: ``0`` degenerates to
+pure LFU (age ignored), large values approach LRU (any staleness
+overwhelms any count).  The default ``1.0`` is the paper's plain
+frequency-per-age ranking.
+"""
+
+from __future__ import annotations
+
+from repro.buffer.frames import Frame
+from repro.buffer.policies.base import ReplacementPolicy
+from repro.storage.page import PageId
+
+
+class AWRP(ReplacementPolicy):
+    """Evict the minimum frequency×recency weight (adaptive weight ranking)."""
+
+    name = "AWRP"
+
+    def __init__(self, decay: float = 1.0) -> None:
+        super().__init__()
+        if decay < 0.0:
+            raise ValueError("decay must be non-negative")
+        self.decay = float(decay)
+
+    # ------------------------------------------------------------------
+    # Ranking
+    # ------------------------------------------------------------------
+
+    def weight(self, frame: Frame) -> float:
+        """The frame's current AWRP weight (higher = more worth keeping).
+
+        Reads the buffer clock through the attached manager (live or
+        ghost — both expose ``_clock``), so the same frame metadata
+        yields the same weight on either side.
+        """
+        age = self.buffer._clock - frame.last_access
+        return frame.access_count / float(age + 1) ** self.decay
+
+    def select_victim(self) -> PageId:
+        # (weight, last_access) is a total order: logical timestamps are
+        # unique per access, so no further tie-break is needed and the
+        # decision is deterministic on live buffers and ghosts alike.
+        victim = min(
+            self._evictable(),
+            key=lambda frame: (self.weight(frame), frame.last_access),
+        )
+        return victim.page_id
+
+    # ------------------------------------------------------------------
+    # Self-tuning
+    # ------------------------------------------------------------------
+
+    def retune(self, *, decay: float | None = None, **kwargs) -> None:
+        """Change the recency exponent in place; no bookkeeping to migrate."""
+        super().retune(**kwargs)
+        if decay is None:
+            return
+        if decay < 0.0:
+            raise ValueError("decay must be non-negative")
+        self.decay = float(decay)
+
+    def flush_priority(self, frame: Frame) -> float:
+        """Clean the lowest-weight dirty frames first (eviction order)."""
+        return self.weight(frame)

@@ -11,6 +11,11 @@ Four commands cover the common workflows without writing any code:
   ``events replay`` re-runs a recorded trace (optionally under a different
   policy), verifies determinism, and prints windowed metrics;
 * ``advise`` — recommend a buffer size and policy for a recorded trace;
+* ``tune fit`` — fit expert-ensemble weights offline from a recorded
+  event trace (one ghost cache per expert + the controller's
+  multiplicative-weights update) and write a loadable weights artifact
+  for ``BufferSystem.build(tuning=TuningSpec(weights_path=...))`` and
+  ``serve --tune --tune-mode ensemble --tune-weights ...``;
 * ``map`` — render a dataset (and optionally a query set) as ASCII density
   maps;
 * ``reproduce`` — run every figure and ablation, writing a markdown report;
@@ -48,6 +53,8 @@ Examples::
     python -m repro replay /tmp/trace.json --policy ASB --capacity 64
     python -m repro events record --set S-W-100 --policy ASB --out /tmp/t.jsonl
     python -m repro events replay /tmp/t.jsonl --policy LRU
+    python -m repro tune fit /tmp/t.jsonl --out weights.json
+    python -m repro serve --tune --tune-mode ensemble --tune-weights weights.json
     python -m repro bench concurrent --threads 1,2,4,8,16 --shards 1,4,8
     python -m repro bench wal --steps 4000 --out BENCH_wal.json
     python -m repro serve --port 7007 --policy ASB --shards 4
@@ -63,7 +70,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.buffer.policies import make_policy, policy_names
+from repro.buffer.policies import UnknownPolicyError, make_policy, policy_names
 
 #: Policy names accepted by ``--policy`` options, derived from the policy
 #: registry (see :func:`repro.buffer.policies.make_policy`).  The "LRU-K"
@@ -153,6 +160,30 @@ def _build_parser() -> argparse.ArgumentParser:
     events_replay.add_argument("--window", type=int, default=256,
                                help="rolling hit-ratio window")
 
+    tune = commands.add_parser(
+        "tune", help="offline tuning: fit ensemble weights from a trace"
+    )
+    tune_commands = tune.add_subparsers(dest="tune_command", required=True)
+
+    tune_fit = tune_commands.add_parser(
+        "fit", help="fit expert-ensemble weights from a recorded event trace"
+    )
+    tune_fit.add_argument("trace", help="event-trace JSON-lines path "
+                                        "(from 'events record')")
+    tune_fit.add_argument("--experts", default=None,
+                          help="comma-separated expert policy names "
+                               "(default: LRU,LRU-2,ASB,AWRP,EEVA)")
+    tune_fit.add_argument("--capacity", type=int, default=None,
+                          help="ghost-cache capacity (default: as recorded)")
+    tune_fit.add_argument("--epoch", type=int, default=100,
+                          help="epoch length in page accesses")
+    tune_fit.add_argument("--eta", type=float, default=10.0,
+                          help="multiplicative-weights learning rate")
+    tune_fit.add_argument("--weight-floor", type=float, default=0.01,
+                          help="minimum per-expert weight after each update")
+    tune_fit.add_argument("--out", required=True,
+                          help="output weights-artifact JSON path")
+
     advise = commands.add_parser(
         "advise", help="recommend buffer size and policy for a trace"
     )
@@ -207,6 +238,15 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--tune", action="store_true",
                        help="attach the self-tuning controller (ghost "
                             "caches; state appears under STATS)")
+    serve.add_argument("--tune-mode", choices=["select", "ensemble"],
+                       default="select",
+                       help="controller mode: 'select' races ghost "
+                            "candidates winner-take-all, 'ensemble' "
+                            "reweights an expert mixture per epoch")
+    serve.add_argument("--tune-weights", default=None, metavar="PATH",
+                       help="weights artifact from 'tune fit' used as "
+                            "the ensemble's starting mixture "
+                            "(requires --tune-mode ensemble)")
     serve.add_argument("--uvloop", choices=["auto", "on", "off"],
                        default="off",
                        help="event loop: 'on' requires uvloop, 'auto' "
@@ -270,6 +310,15 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="simulated SSD read latency in microseconds")
     tuning.add_argument("--sample", type=float, default=0.15,
                         help="SHARDS-style ghost sampling rate (0, 1]")
+    tuning.add_argument("--eta", type=float, default=16.0,
+                        help="ensemble multiplicative-weights learning "
+                             "rate")
+    tuning.add_argument("--ensemble-epoch", type=int, default=60,
+                        help="ensemble epoch length (the mixture profits "
+                             "from faster updates than the selector)")
+    tuning.add_argument("--ensemble-sample", type=float, default=0.2,
+                        help="ghost sampling rate for the ensemble's "
+                             "expert shadows (0, 1]")
     tuning.add_argument("--reps", type=int, default=5,
                         help="repetitions for the min-of-N overhead timing")
     tuning.add_argument("--seed", type=int, default=7)
@@ -546,6 +595,50 @@ def _cmd_events_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tune(args: argparse.Namespace) -> int:
+    return _cmd_tune_fit(args)
+
+
+def _cmd_tune_fit(args: argparse.Namespace) -> int:
+    from repro.obs import RecordedTrace
+    from repro.tuning import fit_weights
+
+    recorded = RecordedTrace.load(args.trace)
+    experts = None
+    if args.experts:
+        experts = tuple(
+            name.strip() for name in args.experts.split(",") if name.strip()
+        )
+    try:
+        fitted = fit_weights(
+            recorded,
+            experts=experts,
+            capacity=args.capacity,
+            epoch_length=args.epoch,
+            eta=args.eta,
+            weight_floor=args.weight_floor,
+        )
+    except (UnknownPolicyError, ValueError) as error:
+        print(f"tune fit: {error}", file=sys.stderr)
+        return 2
+    fitted.save(args.out)
+    meta = fitted.meta
+    print(
+        f"fitted {len(fitted.experts)} experts over "
+        f"{meta['requests']} requests ({meta['epochs']} epochs of "
+        f"{fitted.epoch_length}) at capacity {meta['fit_capacity']}"
+    )
+    ratios = meta.get("expert_hit_ratios", {})
+    for name, weight in sorted(
+        zip(fitted.experts, fitted.weights), key=lambda pair: -pair[1]
+    ):
+        ratio = ratios.get(name)
+        detail = f" (hit ratio {ratio:.1%})" if ratio is not None else ""
+        print(f"  {name:<8} weight {weight:.3f}{detail}")
+    print(f"weights artifact -> {args.out}")
+    return 0
+
+
 def _cmd_advise(args: argparse.Namespace) -> int:
     from repro.experiments.advisor import advise_from_trace
     from repro.experiments.trace import AccessTrace
@@ -619,14 +712,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except UvloopUnavailable as exc:
         print(f"serve: {exc}", file=sys.stderr)
         return 2
-    system = BufferSystem.build(
-        policy=args.policy,
-        capacity=args.capacity,
-        shards=args.shards or None,
-        durability=True,
-        page_size=args.page_size,
-        tuning=True if args.tune else None,
-    )
+    tuning = None
+    if args.tune:
+        from repro.tuning import TuningSpec
+
+        if args.tune_weights and args.tune_mode != "ensemble":
+            print("serve: --tune-weights requires --tune-mode ensemble",
+                  file=sys.stderr)
+            return 2
+        tuning = TuningSpec(mode=args.tune_mode,
+                            weights_path=args.tune_weights)
+    elif args.tune_mode != "select" or args.tune_weights:
+        print("serve: --tune-mode/--tune-weights require --tune",
+              file=sys.stderr)
+        return 2
+    try:
+        system = BufferSystem.build(
+            policy=args.policy,
+            capacity=args.capacity,
+            shards=args.shards or None,
+            durability=True,
+            page_size=args.page_size,
+            tuning=tuning,
+        )
+    except ValueError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
     for page_id in range(args.pages):
         system.disk.store(make_seed_page(page_id, page_id, args.page_size))
     server = PageServer(
@@ -832,6 +943,9 @@ def _cmd_bench_tuning(args: argparse.Namespace) -> int:
         read_latency_us=args.latency_us,
         sample=args.sample,
         overhead_reps=args.reps,
+        eta=args.eta,
+        ensemble_epoch_length=args.ensemble_epoch,
+        ensemble_sample=args.ensemble_sample,
     )
     print(report.to_text())
     verdict = report.acceptance()
@@ -957,6 +1071,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "trace": _cmd_trace,
         "replay": _cmd_replay,
         "events": _cmd_events,
+        "tune": _cmd_tune,
         "advise": _cmd_advise,
         "map": _cmd_map,
         "reproduce": _cmd_reproduce,

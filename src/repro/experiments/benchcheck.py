@@ -226,8 +226,13 @@ def _extract_tuning(data, source: str):
     metrics = [
         Metric("adaptive.overall_hit_ratio",
                _number(data, "adaptive.overall_hit_ratio", source)),
+        Metric("ensemble.overall_hit_ratio",
+               _number(data, "ensemble.overall_hit_ratio", source)),
         Metric("acceptance.ghost_overhead",
                _number(data, "acceptance.ghost_overhead", source),
+               "lower", timing=True),
+        Metric("acceptance.ensemble_overhead",
+               _number(data, "acceptance.ensemble_overhead", source),
                "lower", timing=True),
     ]
     guards = [
@@ -237,6 +242,10 @@ def _extract_tuning(data, source: str):
               _boolean(data, "acceptance.adapted_at_least_once", source)),
         Guard("acceptance.ghost_overhead_leq_10pct",
               _boolean(data, "acceptance.ghost_overhead_leq_10pct", source)),
+        Guard("acceptance.beats_every_static_overall",
+              _boolean(data, "acceptance.beats_every_static_overall", source)),
+        Guard("acceptance.ensemble_overhead_leq_10pct",
+              _boolean(data, "acceptance.ensemble_overhead_leq_10pct", source)),
     ]
     return metrics, guards
 

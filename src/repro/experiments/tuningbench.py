@@ -8,7 +8,11 @@ The benchmark drives the phase-shifting workload
 * one **observe-only** tuned buffer (ghosts attached, adaptation
   disabled) — isolates the ghost-cache wall-clock overhead, since the
   live work is identical to the static baseline;
-* one **adaptive** buffer (full controller) — scored per phase.
+* one **adaptive** buffer (full controller, winner-take-all select
+  mode) — scored per phase;
+* one **ensemble** buffer (multiplicative-weights expert mixture over
+  LRU, LRU-2, ASB, AWRP and EEvA) — the strongest claim, scored against
+  *every* static expert, plus its own frozen-mixture overhead pair.
 
 Scoring uses hit ratios per labelled phase (the buffer runs continuously
 across phase seams — adapting to them is the whole point, so there is no
@@ -19,8 +23,17 @@ questions the roadmap poses:
   phase (relative, with an absolute floor for near-zero phases)?
 * does it beat the *worst* static expert overall?  (The robustness
   claim: adaptivity buys freedom from picking the wrong policy.)
-* is the ghost overhead at N=3 candidates at most 10 % wall clock?
+* does the **ensemble** beat *every* static expert overall?  (The
+  no-regret claim: the mixture is better than the best fixed choice on
+  a shifting workload, not merely competitive with it.)
+* is the ghost overhead at N=3 candidates at most 10 % wall clock — and
+  the ensemble's ghost+mixture overhead likewise at most 10 %?
 * did at least one adaptation actually fire?
+
+The ensemble overhead pair freezes the mixture (``eta=0``: the
+controller observes and updates nothing) so both sides do identical
+live eviction work and the difference isolates the ghost feeding plus
+controller bookkeeping.
 """
 
 from __future__ import annotations
@@ -33,11 +46,14 @@ from repro.api import BufferSystem
 from repro.datasets.synthetic import us_mainland_like
 from repro.experiments.benchmeta import run_metadata
 from repro.experiments.harness import build_database, buffer_capacity
-from repro.tuning import TuningConfig, default_candidates
+from repro.tuning import DEFAULT_EXPERTS, TuningConfig, TuningSpec, default_candidates
 from repro.workloads.phased import PhasedWorkload, phased_workload
 
 #: The static experts every adaptive run is judged against.
 STATIC_PANEL = ("LRU", "LRU-2", "ASB")
+
+#: The ensemble's expert panel (the registry's default panel).
+ENSEMBLE_EXPERTS = DEFAULT_EXPERTS
 
 
 class _DelayDisk:
@@ -142,15 +158,27 @@ class TuningBenchReport:
     start_policy: str
     read_latency_us: float = 0.0
     sample: float = 1.0
+    eta: float = 10.0
+    #: The ensemble's own epoch/sampling knobs — the mixture profits
+    #: from faster updates and better rate estimates than the
+    #: winner-take-all selector needs.
+    ensemble_epoch_length: int = 60
+    ensemble_sample: float = 0.2
     static: list[PolicyRun] = field(default_factory=list)
     shadow: PolicyRun | None = None
     adaptive: PolicyRun | None = None
     tuner: dict = field(default_factory=dict)
+    ensemble: PolicyRun | None = None
+    ensemble_tuner: dict = field(default_factory=dict)
     #: Min-of-N wall clocks for the overhead ratio (single runs are too
     #: noisy at sub-second lengths to judge a 10 % bound).
     overhead_reps: int = 1
     base_seconds: float = 0.0
     shadow_seconds: float = 0.0
+    #: Frozen-mixture pair: the same ensemble with and without the
+    #: controller attached (``eta=0`` — no weight ever changes).
+    ensemble_base_seconds: float = 0.0
+    ensemble_shadow_seconds: float = 0.0
 
     # -- derived judgements --------------------------------------------
 
@@ -163,6 +191,9 @@ class TuningBenchReport:
     def worst_static_overall(self) -> float:
         return min(run.overall_hit_ratio for run in self.static)
 
+    def best_static_overall(self) -> float:
+        return max(run.overall_hit_ratio for run in self.static)
+
     def ghost_overhead(self) -> float:
         """Relative wall-clock cost of running the ghosts (shadow vs base).
 
@@ -174,6 +205,18 @@ class TuningBenchReport:
         if self.base_seconds <= 0.0:
             return 0.0
         return self.shadow_seconds / self.base_seconds - 1.0
+
+    def ensemble_overhead(self) -> float:
+        """Relative wall clock of the ensemble's controller machinery.
+
+        Both sides run the identical weighted-vote eviction (frozen
+        mixture); the shadow side also feeds one ghost per expert and
+        pays the controller tap, so the ratio isolates what adapting
+        *costs*, separate from what the mixture policy itself costs.
+        """
+        if self.ensemble_base_seconds <= 0.0:
+            return 0.0
+        return self.ensemble_shadow_seconds / self.ensemble_base_seconds - 1.0
 
     def acceptance(self) -> dict:
         adaptive = self.adaptive
@@ -193,7 +236,7 @@ class TuningBenchReport:
         adaptations = int(self.tuner.get("retunes", 0)) + int(
             self.tuner.get("switches", 0)
         )
-        return {
+        verdict = {
             "per_phase": per_phase,
             "within_5pct_of_best_each_phase": all(
                 entry["within_5pct"] for entry in per_phase.values()
@@ -208,6 +251,28 @@ class TuningBenchReport:
             "adaptations": adaptations,
             "adapted_at_least_once": bool(adaptations >= 1),
         }
+        if self.ensemble is not None:
+            ensemble_overhead = self.ensemble_overhead()
+            best = self.best_static_overall()
+            verdict.update(
+                {
+                    "best_static_overall": round(best, 4),
+                    "ensemble_overall": round(
+                        self.ensemble.overall_hit_ratio, 4
+                    ),
+                    "beats_every_static_overall": bool(
+                        self.ensemble.overall_hit_ratio > best
+                    ),
+                    "ensemble_overhead": round(ensemble_overhead, 4),
+                    "ensemble_overhead_leq_10pct": bool(
+                        ensemble_overhead <= 0.10
+                    ),
+                    "ensemble_weight_updates": int(
+                        self.ensemble_tuner.get("weight_updates", 0)
+                    ),
+                }
+            )
+        return verdict
 
     # -- serialisation --------------------------------------------------
 
@@ -222,13 +287,20 @@ class TuningBenchReport:
             "start_policy": self.start_policy,
             "read_latency_us": self.read_latency_us,
             "sample": self.sample,
+            "eta": self.eta,
+            "ensemble_epoch_length": self.ensemble_epoch_length,
+            "ensemble_sample": self.ensemble_sample,
             "overhead_reps": self.overhead_reps,
             "base_seconds": round(self.base_seconds, 4),
             "shadow_seconds": round(self.shadow_seconds, 4),
+            "ensemble_base_seconds": round(self.ensemble_base_seconds, 4),
+            "ensemble_shadow_seconds": round(self.ensemble_shadow_seconds, 4),
             "static": [run.to_dict() for run in self.static],
             "shadow": self.shadow.to_dict() if self.shadow else None,
             "adaptive": self.adaptive.to_dict() if self.adaptive else None,
             "tuner": dict(self.tuner),
+            "ensemble": self.ensemble.to_dict() if self.ensemble else None,
+            "ensemble_tuner": dict(self.ensemble_tuner),
             "acceptance": self.acceptance(),
         }
 
@@ -241,6 +313,8 @@ class TuningBenchReport:
         runs = list(self.static)
         if self.adaptive is not None:
             runs.append(self.adaptive)
+        if self.ensemble is not None:
+            runs.append(self.ensemble)
         lines = [
             f"tuning bench — {self.objects} objects, {self.capacity} frames, "
             f"{self.queries_per_phase} queries/phase, epoch "
@@ -273,6 +347,23 @@ class TuningBenchReport:
             f"ghost overhead (observe-only vs static): "
             f"{verdict['ghost_overhead']:+.1%}"
         )
+        if self.ensemble is not None:
+            weights = self.ensemble_tuner.get("weights", {})
+            mixture = ", ".join(
+                f"{name}={weight:.2f}"
+                for name, weight in sorted(
+                    weights.items(), key=lambda item: -item[1]
+                )
+            )
+            lines.append(
+                f"ensemble (eta {self.eta:g}): "
+                f"{verdict['ensemble_weight_updates']} weight updates; "
+                f"final mixture {mixture or 'n/a'}"
+            )
+            lines.append(
+                f"ensemble overhead (frozen mixture, tuned vs untuned): "
+                f"{verdict['ensemble_overhead']:+.1%}"
+            )
         lines.append(
             "acceptance: "
             f"within-5%-each-phase={verdict['within_5pct_of_best_each_phase']} "
@@ -280,6 +371,15 @@ class TuningBenchReport:
             f"overhead<=10%={verdict['ghost_overhead_leq_10pct']} "
             f"adapted={verdict['adapted_at_least_once']}"
         )
+        if self.ensemble is not None:
+            lines.append(
+                "ensemble acceptance: "
+                f"beats-every-static-overall="
+                f"{verdict['beats_every_static_overall']} "
+                f"(ensemble {verdict['ensemble_overall']:.1%} vs best "
+                f"static {verdict['best_static_overall']:.1%}) "
+                f"overhead<=10%={verdict['ensemble_overhead_leq_10pct']}"
+            )
         return "\n".join(lines)
 
 
@@ -319,8 +419,12 @@ def run_tuning_bench(
     read_latency_us: float = 100.0,
     sample: float = 0.15,
     overhead_reps: int = 5,
+    eta: float = 16.0,
+    ensemble_experts: tuple[str, ...] = ENSEMBLE_EXPERTS,
+    ensemble_epoch_length: int = 60,
+    ensemble_sample: float = 0.2,
 ) -> TuningBenchReport:
-    """Build the database, run static / shadow / adaptive, judge."""
+    """Build the database, run static / shadow / adaptive / ensemble, judge."""
     database = build_database(us_mainland_like(n_objects=objects, seed=seed))
     tree = database.tree
     capacity = buffer_capacity(database, buffer_fraction)
@@ -337,6 +441,9 @@ def run_tuning_bench(
         start_policy=start_policy,
         read_latency_us=read_latency_us,
         sample=sample,
+        eta=eta,
+        ensemble_epoch_length=ensemble_epoch_length,
+        ensemble_sample=ensemble_sample,
         overhead_reps=max(1, overhead_reps),
     )
     for name in static_panel:
@@ -379,4 +486,49 @@ def run_tuning_bench(
     )
     report.adaptive = drive_phased(system, tree, workload, "adaptive")
     report.tuner = system.tuner.snapshot()
+
+    # -- the expert ensemble -------------------------------------------
+    ensemble_spec = TuningSpec(
+        mode="ensemble",
+        experts=ensemble_experts,
+        epoch_length=ensemble_epoch_length,
+        sample=ensemble_sample,
+        eta=eta,
+    )
+    system = BufferSystem.build(
+        policy="ENSEMBLE", capacity=capacity, disk=disk, tuning=ensemble_spec
+    )
+    report.ensemble = drive_phased(system, tree, workload, "ensemble")
+    report.ensemble_tuner = system.tuner.snapshot()
+
+    # Frozen-mixture overhead pair: eta=0 keeps the weights constant, so
+    # the tuned and untuned ensembles evict identically and the timing
+    # difference is pure ghost + controller cost.
+    frozen_spec = TuningSpec(
+        mode="ensemble",
+        experts=ensemble_experts,
+        epoch_length=ensemble_epoch_length,
+        sample=ensemble_sample,
+        eta=0.0,
+    )
+    ensemble_base_times: list[float] = []
+    ensemble_shadow_times: list[float] = []
+    for _ in range(report.overhead_reps):
+        system = BufferSystem.build(
+            policy="ENSEMBLE",
+            policy_kwargs={"experts": ensemble_experts},
+            capacity=capacity,
+            disk=disk,
+        )
+        ensemble_base_times.append(
+            drive_phased(system, tree, workload, "ensemble-base").seconds
+        )
+        system = BufferSystem.build(
+            policy="ENSEMBLE", capacity=capacity, disk=disk, tuning=frozen_spec
+        )
+        ensemble_shadow_times.append(
+            drive_phased(system, tree, workload, "ensemble-frozen").seconds
+        )
+    report.ensemble_base_seconds = min(ensemble_base_times)
+    report.ensemble_shadow_seconds = min(ensemble_shadow_times)
     return report

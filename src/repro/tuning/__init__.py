@@ -18,15 +18,28 @@ from repro.tuning.controller import (
     candidate_variants,
     default_candidates,
 )
+from repro.tuning.ensemble import (
+    DEFAULT_EXPERTS,
+    EnsemblePolicy,
+    multiplicative_update,
+)
+from repro.tuning.fit import FittedWeights, fit_weights
 from repro.tuning.ghost import GhostCache, MetaFactory, PageMeta
+from repro.tuning.spec import TuningSpec
 
 __all__ = [
     "Candidate",
+    "DEFAULT_EXPERTS",
+    "EnsemblePolicy",
+    "FittedWeights",
     "GhostCache",
     "MetaFactory",
     "PageMeta",
     "TuningConfig",
     "TuningController",
+    "TuningSpec",
     "candidate_variants",
     "default_candidates",
+    "fit_weights",
+    "multiplicative_update",
 ]

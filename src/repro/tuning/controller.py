@@ -42,6 +42,7 @@ from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.buffer.policies import make_policy, policy_param_space
 from repro.obs.events import BufferEvent
+from repro.tuning.ensemble import EnsemblePolicy, multiplicative_update
 from repro.tuning.ghost import GhostCache, PageMeta
 
 if TYPE_CHECKING:
@@ -85,6 +86,19 @@ class TuningConfig:
     cooldown: int = 2
     allow_retune: bool = True
     allow_switch: bool = True
+    #: ``"select"`` is the winner-take-all mode above.  ``"ensemble"``
+    #: requires the live policy to be an
+    #: :class:`~repro.tuning.ensemble.EnsemblePolicy`: the ghosts shadow
+    #: its experts and every epoch re-weights the live mixture with the
+    #: multiplicative-weights update instead of replacing the policy.
+    mode: str = "select"
+    #: Ensemble learning rate: how hard one epoch of regret cuts an
+    #: expert's weight.  0 freezes the mixture (observation only).
+    eta: float = 10.0
+    #: Ensemble regret guard: every expert keeps at least (about) this
+    #: share of the mixture, so a losing expert can recover after a
+    #: workload shift.
+    weight_floor: float = 0.01
     #: SHARDS-style spatial sampling (Waldspurger et al., FAST'15): ghosts
     #: see only pages whose id-hash falls below ``sample`` of the hash
     #: space, and each ghost's capacity is scaled by the same factor, so
@@ -104,6 +118,14 @@ class TuningConfig:
             raise ValueError("cooldown must be non-negative")
         if not 0.0 < self.sample <= 1.0:
             raise ValueError("sample must be in (0, 1]")
+        if self.mode not in ("select", "ensemble"):
+            raise ValueError(
+                f'mode must be "select" or "ensemble", got {self.mode!r}'
+            )
+        if self.eta < 0:
+            raise ValueError("eta must be non-negative")
+        if not 0.0 <= self.weight_floor < 1.0:
+            raise ValueError("weight_floor must be in [0, 1)")
 
 
 def default_candidates(
@@ -194,6 +216,8 @@ class TuningController:
         self.epochs = 0
         self.retunes = 0
         self.switches = 0
+        self.weight_updates = 0
+        self._weights: list[float] = []   # ensemble mode: the live mixture
         self.last_epoch: dict = {}
         # Shared page-metadata cache: criteria are computed once per
         # distinct page, not once per ghost miss.  Bounded defensively;
@@ -218,26 +242,47 @@ class TuningController:
         self._managers = list(managers()) if managers is not None else [buffer]
         self._live_policy_name = policy_name
         self._live_kwargs = dict(policy_kwargs or {})
-        self.live_name = self._managers[0].policy.name
-        candidates = self.config.candidates
-        if candidates is None:
-            candidates = default_candidates(policy_name, self._live_kwargs)
-        candidates = list(candidates)
-        # Shadow the live configuration too (when it is registry-buildable):
-        # a control ghost the controller can always switch *back* to after
-        # the workload shifts again.
-        if not any(candidate.name == self.live_name for candidate in candidates):
-            try:
-                live = Candidate(
-                    name=self.live_name,
-                    policy=policy_name,
-                    kwargs=dict(self._live_kwargs),
+        live_policy = self._managers[0].policy
+        self.live_name = live_policy.name
+        if self.config.mode == "ensemble":
+            # The expert panel *is* the ghost panel: one shadow per
+            # expert of the live mixture, no control ghost (the mixture
+            # is compared against its own experts, not replaced).
+            if not isinstance(live_policy, EnsemblePolicy):
+                raise TypeError(
+                    'tuning mode "ensemble" requires the live policy to '
+                    f"be ENSEMBLE, got {live_policy.name!r}; build with "
+                    "BufferSystem.build(tuning=TuningSpec(mode='ensemble'))"
                 )
-                live.build_policy()
-            except (ValueError, TypeError):
-                pass
-            else:
-                candidates.insert(0, live)
+            candidates = [
+                Candidate(name=name, policy=spec)
+                for name, spec in zip(
+                    live_policy.expert_names, live_policy.expert_specs
+                )
+            ]
+            self._weights = list(live_policy.weights)
+        else:
+            candidates = self.config.candidates
+            if candidates is None:
+                candidates = default_candidates(policy_name, self._live_kwargs)
+            candidates = list(candidates)
+            # Shadow the live configuration too (when it is
+            # registry-buildable): a control ghost the controller can
+            # always switch *back* to after the workload shifts again.
+            if not any(
+                candidate.name == self.live_name for candidate in candidates
+            ):
+                try:
+                    live = Candidate(
+                        name=self.live_name,
+                        policy=policy_name,
+                        kwargs=dict(self._live_kwargs),
+                    )
+                    live.build_policy()
+                except (ValueError, TypeError):
+                    pass
+                else:
+                    candidates.insert(0, live)
         sample = self.config.sample
         if sample < 1.0:
             # Map ids into the 32-bit hash space (Fibonacci hashing) and
@@ -338,6 +383,9 @@ class TuningController:
                     label=leader.name if leader else None,
                 )
             )
+        if self.config.mode == "ensemble":
+            self._update_mixture(rates, manager)
+            return
         if self._cooldown_left > 0:
             self._cooldown_left -= 1
             self._leader_name = None
@@ -370,6 +418,46 @@ class TuningController:
         if self._leader_streak < self.config.patience:
             return
         self._adopt(leader, leader_rate, manager)
+
+    def _update_mixture(self, rates: list[float], manager: "BufferManager") -> None:
+        """One multiplicative-weights step on the live ensemble mixture.
+
+        The new weight vector is propagated through the adaptation log as
+        a plain ``retune`` action, so sharded buffers converge on it
+        exactly like any other retune — shard by shard, on each shard's
+        next tapped access, without cross-shard locking.
+        """
+        if not rates:
+            return
+        new = multiplicative_update(
+            self._weights,
+            rates,
+            eta=self.config.eta,
+            weight_floor=self.config.weight_floor,
+        )
+        self.last_epoch["weights"] = {
+            ghost.name: weight for ghost, weight in zip(self._ghosts, new)
+        }
+        if max(
+            abs(a - b) for a, b in zip(new, self._weights)
+        ) <= 1e-12:
+            return
+        self._weights = list(new)
+        self._actions.append(("retune", {"weights": tuple(new)}))
+        self.weight_updates += 1
+        self.retunes += 1
+        self._apply_pending(manager)
+        observer = self.observer
+        if observer is not None:
+            top = max(range(len(new)), key=new.__getitem__)
+            observer.emit(
+                BufferEvent(
+                    kind="tune_weights",
+                    clock=self._accesses,
+                    value=round(new[top], 6),
+                    label=self._ghosts[top].name,
+                )
+            )
 
     def _adopt(
         self, candidate: Candidate, rate: float, manager: "BufferManager"
@@ -447,7 +535,8 @@ class TuningController:
     def snapshot(self) -> dict:
         """Tuner state as a plain dict (reported by the page service)."""
         with self._lock:
-            return {
+            snapshot = {
+                "mode": self.config.mode,
                 "live": self.live_name,
                 "policy": self._live_policy_name,
                 "policy_kwargs": dict(self._live_kwargs),
@@ -469,6 +558,15 @@ class TuningController:
                 },
                 "last_epoch": dict(self.last_epoch),
             }
+            if self.config.mode == "ensemble":
+                snapshot["weights"] = {
+                    ghost.name: weight
+                    for ghost, weight in zip(self._ghosts, self._weights)
+                }
+                snapshot["weight_updates"] = self.weight_updates
+                snapshot["eta"] = self.config.eta
+                snapshot["weight_floor"] = self.config.weight_floor
+            return snapshot
 
 
 def candidate_variants(

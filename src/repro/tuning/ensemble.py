@@ -1,0 +1,80 @@
+"""repro.tuning.ensemble — the multiplicative-weights expert ensemble.
+
+The controller's ``select`` mode is winner-take-all: the best ghost per
+epoch eventually *replaces* the live policy.  Ensemble mode keeps the
+whole panel alive instead.  The live policy is an
+:class:`EnsemblePolicy` — a weighted expert vote over full replacement
+policies — and each epoch the controller re-weights the mixture from the
+experts' ghost-cache hit-rates with the classic multiplicative-weights
+update (Littlestone/Warmuth; the scheme behind Hedge and the
+EEvA/ACME-style adaptive caches):
+
+    w_i  <-  w_i * exp(-eta * (best_rate - rate_i))
+
+followed by a floor and renormalisation.  Experts that kept up with the
+epoch's best keep their mass; experts that fell behind decay
+exponentially in their regret.  Two guards bound the regret:
+
+* ``eta`` caps how fast mass can concentrate (the per-epoch learning
+  rate);
+* ``weight_floor`` keeps every expert at a small minimum share, so an
+  expert that starts losing mass can still win it back within a few
+  epochs of a workload shift — the mixture can never paint itself into
+  a corner.
+
+The same update runs online (:class:`repro.tuning.TuningController`
+with ``mode="ensemble"``) and offline (:func:`repro.tuning.fit.fit_weights`
+over a recorded trace), so shipped weight artifacts mean exactly what
+the live loop would have learned.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.buffer.policies.ensemble import DEFAULT_EXPERTS, EnsemblePolicy
+
+
+def multiplicative_update(
+    weights: Sequence[float],
+    rates: Sequence[float],
+    *,
+    eta: float = 10.0,
+    weight_floor: float = 0.01,
+) -> tuple[float, ...]:
+    """One multiplicative-weights step over per-expert hit-rates.
+
+    Each weight is multiplied by ``exp(-eta * regret)`` where regret is
+    the gap to the epoch's best rate, then the vector is floored at
+    (approximately) ``weight_floor`` and renormalised to sum to one.
+    ``eta=0`` is the frozen ensemble: the mixture never moves.
+
+    >>> multiplicative_update([0.5, 0.5], [0.9, 0.9], eta=10.0)
+    (0.5, 0.5)
+    >>> w = multiplicative_update([0.5, 0.5], [0.9, 0.5], eta=10.0)
+    >>> w[0] > 0.9 and w[1] >= 0.01
+    True
+    """
+    if len(weights) != len(rates):
+        raise ValueError(
+            f"got {len(weights)} weights for {len(rates)} expert rates"
+        )
+    if not weights:
+        return ()
+    best = max(rates)
+    scaled = [
+        weight * math.exp(-eta * (best - rate))
+        for weight, rate in zip(weights, rates)
+    ]
+    total = sum(scaled)
+    if total <= 0.0:
+        # Degenerate (all weights zero): restart from uniform.
+        scaled = [1.0] * len(scaled)
+        total = float(len(scaled))
+    floored = [max(weight_floor, value / total) for value in scaled]
+    total = sum(floored)
+    return tuple(value / total for value in floored)
+
+
+__all__ = ["DEFAULT_EXPERTS", "EnsemblePolicy", "multiplicative_update"]

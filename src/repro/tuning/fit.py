@@ -1,0 +1,216 @@
+"""Offline ensemble-weight fitting from recorded traces.
+
+``python -m repro tune fit`` replays a recorded :mod:`repro.obs` JSONL
+trace through one metadata-only :class:`~repro.tuning.ghost.GhostCache`
+per expert and runs *exactly* the multiplicative-weights update the
+online controller applies per epoch
+(:func:`repro.tuning.ensemble.multiplicative_update`).  The result is a
+small JSON artifact — the fitted mixture plus the settings that produced
+it — that :class:`~repro.tuning.spec.TuningSpec` loads as the ensemble's
+starting weights: a fleet ships pre-trained defaults instead of paying
+the uniform-mixture warm-up on every node.
+
+The artifact format (``repro-tuning-weights`` v1) is a single JSON
+object; see :class:`FittedWeights`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.buffer.policies import make_policy
+from repro.obs.trace import RecordedTrace, disk_from_catalogue
+from repro.tuning.ensemble import DEFAULT_EXPERTS, multiplicative_update
+from repro.tuning.ghost import GhostCache, PageMeta
+
+FORMAT_NAME = "repro-tuning-weights"
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FittedWeights:
+    """A fitted ensemble mixture: the loadable weights artifact."""
+
+    experts: tuple[str, ...]
+    weights: tuple[float, ...]
+    epoch_length: int
+    eta: float
+    weight_floor: float
+    #: Provenance: where the weights came from (trace stats, expert
+    #: hit-rates, epoch count) — informational, never interpreted.
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.experts) != len(self.weights):
+            raise ValueError(
+                f"{len(self.experts)} experts but {len(self.weights)} weights"
+            )
+
+    def weights_for(self, experts: Sequence[str]) -> tuple[float, ...]:
+        """The mixture reordered for ``experts``; errors on a mismatch.
+
+        A weights artifact is only meaningful for the panel it was
+        fitted on, but the *order* of the names is presentation detail —
+        reorder freely, refuse anything else.
+        """
+        wanted = tuple(name.strip().upper() for name in experts)
+        have = {
+            name.strip().upper(): weight
+            for name, weight in zip(self.experts, self.weights)
+        }
+        if sorted(wanted) != sorted(have):
+            raise ValueError(
+                f"weights artifact was fitted for experts "
+                f"{sorted(have)}, not {sorted(wanted)}; refit with "
+                "python -m repro tune fit --experts "
+                + ",".join(experts)
+            )
+        return tuple(have[name] for name in wanted)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "experts": list(self.experts),
+            "weights": list(self.weights),
+            "epoch_length": self.epoch_length,
+            "eta": self.eta,
+            "weight_floor": self.weight_floor,
+            "meta": dict(self.meta),
+        }
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FittedWeights":
+        if data.get("format") != FORMAT_NAME:
+            raise ValueError(f"not a {FORMAT_NAME} artifact")
+        if data.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported weights version {data.get('version')!r}"
+            )
+        return cls(
+            experts=tuple(data["experts"]),
+            weights=tuple(float(w) for w in data["weights"]),
+            epoch_length=int(data["epoch_length"]),
+            eta=float(data["eta"]),
+            weight_floor=float(data["weight_floor"]),
+            meta=dict(data.get("meta", {})),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FittedWeights":
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise ValueError(
+                f"weights artifact {path} is not valid JSON: {error}"
+            ) from None
+        return cls.from_dict(data)
+
+
+def fit_weights(
+    trace: RecordedTrace,
+    *,
+    experts: Sequence[str] | None = None,
+    capacity: int | None = None,
+    epoch_length: int = 100,
+    eta: float = 10.0,
+    weight_floor: float = 0.01,
+) -> FittedWeights:
+    """Fit ensemble weights from a recorded trace's request stream.
+
+    One ghost cache per expert replays the trace's ``fetch`` stream at
+    ``capacity`` (default: the trace's recorded capacity); at every
+    ``epoch_length`` requests the mixture takes the same
+    multiplicative-weights step the online controller would.  The
+    returned mixture is what a live ensemble would have learned by the
+    end of the trace — the right starting point for serving the same
+    workload.
+    """
+    expert_names = tuple(experts) if experts is not None else DEFAULT_EXPERTS
+    if not expert_names:
+        raise ValueError("experts must name at least one policy")
+    if capacity is None:
+        capacity = trace.capacity
+    if capacity < 1:
+        raise ValueError("capacity must be at least 1")
+    requests = trace.requests()
+    if not requests:
+        raise ValueError("trace contains no fetch events to fit on")
+
+    ghosts = [
+        GhostCache(make_policy(name), capacity, name=name)
+        for name in expert_names
+    ]
+    criteria = tuple(
+        sorted(
+            {
+                criterion
+                for ghost in ghosts
+                for criterion in [getattr(ghost.policy, "criterion", None)]
+                if criterion is not None
+            }
+        )
+    )
+    disk = disk_from_catalogue(trace.catalogue)
+    metas: dict[int, PageMeta] = {}
+
+    weights = tuple(1.0 / len(ghosts) for _ in ghosts)
+    marks = [(0, 0) for _ in ghosts]
+    epochs = 0
+    epoch_accesses = 0
+    for page_id, query in requests:
+        meta = metas.get(page_id)
+        if meta is None:
+            meta = PageMeta.from_page(disk.peek(page_id), criteria)
+            metas[page_id] = meta
+        for ghost in ghosts:
+            ghost.access(page_id, query, meta)
+        epoch_accesses += 1
+        if epoch_accesses >= epoch_length:
+            rates = []
+            for index, ghost in enumerate(ghosts):
+                mark_requests, mark_hits = marks[index]
+                delta_requests = ghost.stats.requests - mark_requests
+                delta_hits = ghost.stats.hits - mark_hits
+                rates.append(
+                    delta_hits / delta_requests if delta_requests else 0.0
+                )
+                marks[index] = (ghost.stats.requests, ghost.stats.hits)
+            weights = multiplicative_update(
+                weights, rates, eta=eta, weight_floor=weight_floor
+            )
+            epochs += 1
+            epoch_accesses = 0
+
+    return FittedWeights(
+        experts=tuple(ghost.name for ghost in ghosts),
+        weights=weights,
+        epoch_length=epoch_length,
+        eta=eta,
+        weight_floor=weight_floor,
+        meta={
+            "trace_policy": trace.policy,
+            "trace_capacity": trace.capacity,
+            "fit_capacity": capacity,
+            "requests": len(requests),
+            "epochs": epochs,
+            "expert_hit_ratios": {
+                ghost.name: ghost.stats.hit_ratio for ghost in ghosts
+            },
+        },
+    )
+
+
+__all__ = ["FORMAT_NAME", "FORMAT_VERSION", "FittedWeights", "fit_weights"]

@@ -63,7 +63,9 @@ class TestTuningBenchSmoke:
             "LRU", "LRU-2", "ASB"
         ]
         # Identity per run: phases partition the stream exactly.
-        for run in (*report.static, report.shadow, report.adaptive):
+        for run in (
+            *report.static, report.shadow, report.adaptive, report.ensemble
+        ):
             assert run is not None
             assert [score.phase for score in run.phases] == [
                 "scan", "hotspot", "drift", "mixed"
@@ -80,3 +82,11 @@ class TestTuningBenchSmoke:
         }
         assert report.base_seconds > 0.0 and report.shadow_seconds > 0.0
         assert report.tuner["epochs"] >= 1
+        # The ensemble rode along: its tuner ran in ensemble mode, its
+        # overhead pair was timed, and the verdict carries its keys.
+        assert report.ensemble_tuner["mode"] == "ensemble"
+        assert report.ensemble_base_seconds > 0.0
+        assert report.ensemble_shadow_seconds > 0.0
+        for key in ("beats_every_static_overall", "ensemble_overall",
+                    "ensemble_overhead_leq_10pct"):
+            assert key in verdict

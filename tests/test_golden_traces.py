@@ -21,7 +21,16 @@ from pathlib import Path
 
 import pytest
 
-from repro.buffer.policies import ASB, LRUK, SLRU, LRU, SpatialPolicy
+from repro.buffer.policies import (
+    ASB,
+    AWRP,
+    LRUK,
+    SLRU,
+    EEvA,
+    EnsemblePolicy,
+    LRU,
+    SpatialPolicy,
+)
 from repro.geometry.rect import Rect
 from repro.obs import RecordedTrace, record_run, replay_recorded
 from repro.storage.disk import SimulatedDisk
@@ -44,6 +53,9 @@ GOLDEN_POLICIES = {
     "spatial_em": lambda: SpatialPolicy("EM"),
     "spatial_eo": lambda: SpatialPolicy("EO"),
     "asb": lambda: ASB(overflow_fraction=0.25),
+    "awrp": AWRP,
+    "eeva": EEvA,
+    "ensemble": lambda: EnsemblePolicy(experts=("LRU", "ASB", "AWRP")),
 }
 
 

@@ -53,8 +53,9 @@ traces = st.lists(
 capacities = st.integers(min_value=1, max_value=7)
 
 #: Policies the ghost-equivalence property quantifies over: the recency
-#: baseline, the history expert, and the paper's spatial self-tuner.
-GHOST_POLICIES = ("LRU", "LRU-2", "ASB", "FIFO")
+#: baseline, the history expert, the paper's spatial self-tuner, and the
+#: two ensemble experts added for the expert-mixture controller.
+GHOST_POLICIES = ("LRU", "LRU-2", "ASB", "FIFO", "AWRP", "EEVA")
 
 
 def build_disk() -> SimulatedDisk:
@@ -362,7 +363,9 @@ class TestConfigAndCandidates:
             BufferSystem.build(policy="LRU", capacity=8, tuning="yes please")
 
     def test_build_with_tuning_true_wires_a_controller(self):
-        system = BufferSystem.build(policy="LRU", capacity=8, tuning=True)
+        # ``tuning=True`` is the deprecated spelling of TuningSpec().
+        with pytest.warns(DeprecationWarning, match="TuningSpec"):
+            system = BufferSystem.build(policy="LRU", capacity=8, tuning=True)
         assert system.tuner is not None
         assert system.buffer.tuner is system.tuner
         assert "tuning" in system.stats_snapshot()
