@@ -40,6 +40,12 @@ Four commands cover the common workflows without writing any code:
   scaling sweep over 1→N consistent-hash nodes, a replica + far-buffer
   scenario, and a randomized invalidation soak asserting zero stale
   reads (writes ``BENCH_cluster.json``);
+* ``bench matrix`` — the robustness matrix: every replacement policy ×
+  every spatial index (R*-tree, mqr-tree, grid file) × every workload
+  (phased, access-graph walk, paper-scale mainland queries), built from
+  the streamed Database-1-like generator, with ranked hit-rate tables,
+  an R*-tree ground-truth agreement check and an optional replay of the
+  recorded production-day server trace (writes ``BENCH_matrix.json``);
 * ``bench check`` — the regression gate: validates the committed
   ``BENCH_*.json`` reports and (with ``--candidate DIR``) fails on >10%
   direction-aware metric regressions with a readable diff.
@@ -61,6 +67,8 @@ Examples::
     python -m repro bench serve --clients 1,2,4,8 --out BENCH_serve.json
     python -m repro bench ablation --workers 4 --out BENCH_ablation.json
     python -m repro bench cluster --nodes 1,2,4 --out BENCH_cluster.json
+    python -m repro bench matrix --replay --out BENCH_matrix.json
+    python -m repro bench matrix --scale paper --policies LRU,ASB
     python -m repro bench check --dir . --candidate /tmp/fresh
 """
 
@@ -421,6 +429,41 @@ def _build_parser() -> argparse.ArgumentParser:
                               "guards (scaling >= 2.5x, zero stale reads)")
     cluster.add_argument("--out", default="BENCH_cluster.json",
                          help="output JSON path ('' = don't write)")
+    matrix = bench_commands.add_parser(
+        "matrix",
+        help="policy × spatial-index × workload robustness matrix",
+    )
+    matrix.add_argument("--objects", type=int, default=8_000,
+                        help="streamed dataset size (objects per index)")
+    matrix.add_argument("--scale", default=None,
+                        help="multiply --objects by this factor, or 'paper' "
+                             "for the paper's Database-1 size (1,641,079)")
+    matrix.add_argument("--queries", type=int, default=320,
+                        help="queries per spatial workload leg")
+    matrix.add_argument("--graph-length", type=int, default=4_000,
+                        help="page references in the access-graph walk")
+    matrix.add_argument("--policies", default=",".join(
+                            ("LRU", "LRU-2", "ASB", "AWRP", "ENSEMBLE")),
+                        help="comma-separated replacement policies")
+    matrix.add_argument("--indexes", default="rstar,mqr,gridfile",
+                        help="comma-separated index kinds "
+                             "(rstar, mqr, gridfile)")
+    matrix.add_argument("--workloads", default="phased,graph,mainland",
+                        help="comma-separated workload legs")
+    matrix.add_argument("--buffer-fraction", type=float, default=0.047,
+                        help="buffer frames as a fraction of index pages")
+    matrix.add_argument("--replay", nargs="?", const="tests/golden/"
+                        "production_day.jsonl", default=None, metavar="TRACE",
+                        help="also replay the recorded production-day "
+                             "server trace under every policy (optionally "
+                             "give an alternative trace path)")
+    matrix.add_argument("--seed", type=int, default=7)
+    matrix.add_argument("--no-gate", action="store_true",
+                        help="report only; do not fail on the acceptance "
+                             "checks (coverage, accounting, index "
+                             "agreement)")
+    matrix.add_argument("--out", default="BENCH_matrix.json",
+                        help="output JSON path ('' = don't write)")
     check = bench_commands.add_parser(
         "check",
         help="regression gate over the committed BENCH_*.json reports",
@@ -786,6 +829,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _cmd_bench_ablation(args)
     if args.bench_command == "hotpath":
         return _cmd_bench_hotpath(args)
+    if args.bench_command == "matrix":
+        return _cmd_bench_matrix(args)
     if args.bench_command == "check":
         return _cmd_bench_check(args)
     if args.bench_command == "cluster":
@@ -910,6 +955,57 @@ def _cmd_bench_ablation(args: argparse.Namespace) -> int:
         and verdict["accounting_identity_holds"]
         and verdict["includes_hostile_workload"]
     )
+    return 0 if ok else 1
+
+
+def _cmd_bench_matrix(args: argparse.Namespace) -> int:
+    from repro.datasets.synthetic import PAPER_DB1_OBJECTS
+    from repro.experiments.matrix import MatrixParams, run_matrix
+
+    n_objects = args.objects
+    if args.scale is not None:
+        if args.scale == "paper":
+            n_objects = PAPER_DB1_OBJECTS
+        else:
+            try:
+                factor = float(args.scale)
+            except ValueError:
+                print(f"bench matrix: --scale must be a number or 'paper', "
+                      f"got {args.scale!r}", file=sys.stderr)
+                return 2
+            n_objects = max(1, round(n_objects * factor))
+    try:
+        params = MatrixParams(
+            n_objects=n_objects,
+            n_queries=args.queries,
+            seed=args.seed,
+            buffer_fraction=args.buffer_fraction,
+            graph_length=args.graph_length,
+            policies=tuple(p.strip() for p in args.policies.split(",") if p),
+            indexes=tuple(i.strip() for i in args.indexes.split(",") if i),
+            workloads=tuple(w.strip() for w in args.workloads.split(",") if w),
+            replay_trace=args.replay,
+        )
+    except ValueError as exc:
+        print(f"bench matrix: {exc}", file=sys.stderr)
+        return 2
+    report = run_matrix(params)
+    print(report.to_text())
+    if args.out:
+        report.save(args.out)
+        print(f"wrote matrix report -> {args.out}")
+    if args.no_gate:
+        return 0
+    verdict = report.acceptance()
+    ok = True
+    for key in (
+        "accounting_identity_holds",
+        "indexes_agree_with_rstar",
+    ):
+        if not verdict[key]:
+            print(f"bench matrix: acceptance check failed: {key}",
+                  file=sys.stderr)
+            ok = False
     return 0 if ok else 1
 
 

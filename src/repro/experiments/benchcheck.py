@@ -370,6 +370,50 @@ def _extract_cluster(data, source: str):
     return metrics, guards
 
 
+def _extract_matrix(data, source: str):
+    metrics, guards = [], []
+    for prefix, point in _points(data, "runs", source, ("index", "policy")):
+        metrics.append(
+            Metric(f"{prefix}.hit_rate", _number(point, "hit_rate", source))
+        )
+        metrics.append(
+            Metric(f"{prefix}.disk_reads",
+                   _number(point, "disk_reads", source), "lower")
+        )
+        metrics.append(
+            Metric(f"{prefix}.seconds",
+                   _number(point, "seconds", source), "lower", timing=True)
+        )
+        guards.append(_accounting_guard(prefix, point, source))
+    replay = data.get("replay")
+    if replay is not None:
+        if not isinstance(replay, Mapping) or not replay:
+            raise BenchCheckError(
+                f"{source}: 'replay' should be a non-empty policy->metrics "
+                "object"
+            )
+        for policy in sorted(replay):
+            metrics.append(
+                Metric(f"replay.{policy}.hit_rate",
+                       _number(data, f"replay.{policy}.hit_rate", source))
+            )
+            guards.append(
+                _accounting_guard(f"replay.{policy}", replay[policy], source)
+            )
+    for name in (
+        "at_least_2_indexes",
+        "at_least_4_policies",
+        "at_least_3_workloads",
+        "accounting_identity_holds",
+        "indexes_agree_with_rstar",
+    ):
+        guards.append(
+            Guard(f"acceptance.{name}",
+                  _boolean(data, f"acceptance.{name}", source))
+        )
+    return metrics, guards
+
+
 #: filename → extractor.  The ``benchmark`` field inside the JSON is the
 #: fallback for reports checked under a non-canonical name.
 EXTRACTORS: "dict[str, Callable]" = {
@@ -380,6 +424,7 @@ EXTRACTORS: "dict[str, Callable]" = {
     "BENCH_ablation.json": _extract_ablation,
     "BENCH_hotpath.json": _extract_hotpath,
     "BENCH_cluster.json": _extract_cluster,
+    "BENCH_matrix.json": _extract_matrix,
 }
 
 _BY_BENCHMARK_FIELD: "dict[str, Callable]" = {
@@ -390,6 +435,7 @@ _BY_BENCHMARK_FIELD: "dict[str, Callable]" = {
     "ablation": _extract_ablation,
     "hotpath": _extract_hotpath,
     "cluster": _extract_cluster,
+    "matrix": _extract_matrix,
 }
 
 

@@ -1,0 +1,653 @@
+"""``bench matrix`` — the policy × index × workload robustness matrix.
+
+The paper's central thesis is robustness *across* spatial access
+patterns, and its experiments run at Database-1 scale (1.6M GNIS
+objects).  Every earlier benchmark in this repo measured one index
+(R*-tree) at ~10^5 objects; this harness closes both gaps:
+
+* **indexes** — the same policies run over structurally different
+  spatial access methods: the R*-tree (the paper's index), the mqr-tree
+  (:mod:`repro.sam.mqr` — 2D nodes organised by centroid relationships,
+  whose page-reference strings look nothing like an R-tree descent) and
+  the grid file.  A policy that only wins on one index is fitted to that
+  index's reference structure, not robust;
+* **workloads** — the phase-shifting query workload
+  (:mod:`repro.workloads.phased`), a locality-structured access-graph
+  walk mapped onto each index's own page population
+  (:mod:`repro.workloads.access_graph`), and the paper's mainland
+  query profile (S-W-100 window queries against Database 1's cluster
+  structure).  ``--replay`` adds a fourth leg: the committed
+  "production day" request trace recorded through the page server;
+* **scale** — every index is built *incrementally* from
+  :func:`repro.datasets.synthetic.us_mainland_like_stream`, so
+  ``--scale paper`` reproduces the 1.6M-object build in bounded memory
+  (chunked generation, insert, drop).
+
+Every system is wired through :meth:`repro.api.BufferSystem.build` —
+the matrix is also an end-to-end proof that the whole stack is
+index-agnostic.  Determinism: one seed drives datasets, queries and
+walks; all counter metrics are bit-reproducible, wall-clock is reported
+separately (and skipped by the ``bench check`` gate).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.api import BufferSystem
+from repro.datasets.places import synthetic_places
+from repro.datasets.synthetic import DatasetStream, us_mainland_like_stream
+from repro.experiments.ablation import RunMetrics, StageRecord
+from repro.experiments.benchmeta import run_metadata
+from repro.obs.trace import RecordedTrace, disk_from_catalogue, drive_requests
+from repro.sam.base import SpatialIndex
+from repro.sam.gridfile import GridFile
+from repro.sam.mqr import MqrTree
+from repro.sam.rstar import RStarTree
+from repro.workloads.access_graph import ReferenceString, clustered_graph, graph_walk
+from repro.workloads.phased import phased_workload
+from repro.workloads.queries import Query
+from repro.workloads.sets import make_query_set
+
+#: Index kinds the matrix can build (all through the SpatialIndex ABC).
+MATRIX_INDEXES = ("rstar", "mqr", "gridfile")
+
+#: Default policy panel: recency, correlation-aware recency, the paper's
+#: self-tuning ASB, the weighted-region competitor and the expert ensemble.
+DEFAULT_POLICIES = ("LRU", "LRU-2", "ASB", "AWRP", "ENSEMBLE")
+
+#: Default workload legs (``--replay`` appends the production trace).
+DEFAULT_WORKLOADS = ("phased", "graph", "mainland")
+
+#: The committed production-day trace fixture (see tests/golden/).
+PRODUCTION_TRACE = "tests/golden/production_day.jsonl"
+
+#: References per query scope when replaying a raw page-id walk — the
+#: correlation grain of one "query" on the graph leg.
+GRAPH_SCOPE = 8
+
+
+@dataclass(frozen=True)
+class MatrixParams:
+    """Everything that shapes the matrix (hashed into the run id)."""
+
+    n_objects: int = 8_000
+    n_queries: int = 320
+    seed: int = 7
+    buffer_fraction: float = 0.047
+    chunk_size: int = 25_000
+    graph_length: int = 4_000
+    graph_clusters: int = 6
+    graph_cluster_size: int = 24
+    n_places: int = 800
+    policies: tuple[str, ...] = DEFAULT_POLICIES
+    indexes: tuple[str, ...] = MATRIX_INDEXES
+    workloads: tuple[str, ...] = DEFAULT_WORKLOADS
+    agreement_sample: int = 64
+    replay_trace: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_objects < 1:
+            raise ValueError("n_objects must be positive")
+        if self.n_queries < 4:
+            raise ValueError("n_queries must be at least 4")
+        if not 0.0 < self.buffer_fraction <= 1.0:
+            raise ValueError("buffer_fraction must be in (0, 1]")
+        if not self.policies:
+            raise ValueError("at least one policy is required")
+        if not self.indexes:
+            raise ValueError("at least one index is required")
+        unknown = sorted(set(self.indexes) - set(MATRIX_INDEXES))
+        if unknown:
+            raise ValueError(
+                f"unknown index kind(s) {unknown}; known: {MATRIX_INDEXES}"
+            )
+        unknown = sorted(set(self.workloads) - set(DEFAULT_WORKLOADS))
+        if unknown:
+            raise ValueError(
+                f"unknown workload(s) {unknown}; known: {DEFAULT_WORKLOADS}"
+            )
+
+
+def _run_id(params: MatrixParams) -> str:
+    blob = json.dumps(
+        {
+            "n_objects": params.n_objects,
+            "n_queries": params.n_queries,
+            "seed": params.seed,
+            "buffer_fraction": params.buffer_fraction,
+            "graph_length": params.graph_length,
+            "policies": list(params.policies),
+            "indexes": list(params.indexes),
+            "workloads": list(params.workloads),
+            "replay": bool(params.replay_trace),
+        },
+        sort_keys=True,
+    ).encode()
+    return f"matrix-{hashlib.sha256(blob).hexdigest()[:10]}"
+
+
+# ----------------------------------------------------------------------
+# Index construction (streamed, bounded memory)
+# ----------------------------------------------------------------------
+
+
+def _make_stream(params: MatrixParams) -> DatasetStream:
+    return us_mainland_like_stream(
+        n_objects=params.n_objects,
+        seed=params.seed,
+        chunk_size=params.chunk_size,
+    )
+
+
+def _new_index(kind: str, stream: DatasetStream) -> SpatialIndex:
+    if kind == "rstar":
+        return RStarTree()
+    if kind == "mqr":
+        return MqrTree()
+    if kind == "gridfile":
+        return GridFile(stream.skeleton.space, bucket_capacity=42, max_splits=64)
+    raise ValueError(f"unknown index kind {kind!r}")
+
+
+def build_index(kind: str, params: MatrixParams) -> tuple[SpatialIndex, float]:
+    """Build one index incrementally from the streamed dataset.
+
+    Each chunk is generated, inserted and dropped, so the build never
+    materialises the full object list — the property that makes
+    ``--scale paper`` (1.6M objects) feasible.  Returns the index and
+    the build wall-clock seconds.
+    """
+    stream = _make_stream(params)
+    index = _new_index(kind, stream)
+    started = time.perf_counter()
+    for chunk in stream:
+        for rect, object_id in chunk:
+            index.insert(rect, object_id)
+    return index, time.perf_counter() - started
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MatrixWorkload:
+    """One matrix leg: either spatial queries or a raw page-id walk."""
+
+    name: str
+    queries: tuple[Query, ...] = ()
+    reference: ReferenceString | None = None
+
+    def __len__(self) -> int:
+        if self.reference is not None:
+            return len(self.reference)
+        return len(self.queries)
+
+    def digest(self) -> str:
+        if self.reference is not None:
+            return self.reference.digest()
+        blob = ",".join(repr(query) for query in self.queries).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+
+def matrix_workloads(
+    params: MatrixParams, stream: DatasetStream
+) -> dict[str, MatrixWorkload]:
+    """The shared workload legs (index-independent definitions).
+
+    The graph leg's walk lives on abstract node ids; it is projected
+    onto each index's own page population at drive time, so every index
+    sees the same locality structure over its own pages.
+    """
+    skeleton = stream.skeleton
+    workloads: dict[str, MatrixWorkload] = {}
+    for name in params.workloads:
+        if name == "phased":
+            phased = phased_workload(
+                skeleton.space,
+                queries_per_phase=max(1, params.n_queries // 4),
+                seed=params.seed,
+            )
+            workloads[name] = MatrixWorkload(name=name, queries=tuple(phased.queries))
+        elif name == "graph":
+            walk = graph_walk(
+                clustered_graph(params.graph_clusters, params.graph_cluster_size),
+                params.graph_length,
+                seed=params.seed,
+                name="clustered",
+            )
+            workloads[name] = MatrixWorkload(name=name, reference=walk)
+        elif name == "mainland":
+            places = synthetic_places(
+                skeleton, count=params.n_places, seed=params.seed
+            )
+            query_set = make_query_set(
+                "S-W-100", skeleton, places, params.n_queries, params.seed
+            )
+            workloads[name] = MatrixWorkload(
+                name=name, queries=tuple(query_set.queries)
+            )
+    return workloads
+
+
+def _project_walk(
+    reference: ReferenceString, page_ids: Sequence[int]
+) -> list[int]:
+    """Map abstract walk nodes onto an index's own page ids.
+
+    Nodes spread evenly over the sorted page-id list, so the walk's
+    cluster structure covers the whole index regardless of its size.
+    """
+    nodes = reference.graph.nodes
+    position = {node: rank for rank, node in enumerate(nodes)}
+    count = len(page_ids)
+    return [
+        page_ids[position[node] * count // len(nodes)]
+        for node in reference.pages
+    ]
+
+
+# ----------------------------------------------------------------------
+# Driving one (index, policy) cell
+# ----------------------------------------------------------------------
+
+
+def _totals(system: BufferSystem) -> dict[str, int]:
+    stats = system.buffer.stats
+    return {
+        "requests": stats.requests,
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "evictions": stats.evictions,
+        "writebacks": stats.writebacks,
+        "disk_reads": system.disk.stats.reads,
+    }
+
+
+def _drive(
+    system: BufferSystem, index: SpatialIndex, workload: MatrixWorkload
+) -> float:
+    started = time.perf_counter()
+    if workload.reference is not None:
+        page_ids = sorted(index.all_page_ids())
+        pages = _project_walk(workload.reference, page_ids)
+        for start in range(0, len(pages), GRAPH_SCOPE):
+            with system.buffer.query_scope():
+                for page_id in pages[start:start + GRAPH_SCOPE]:
+                    system.fetch(page_id)
+    else:
+        for query in workload.queries:
+            with system.buffer.query_scope():
+                query.run(index, system.buffer)
+    return time.perf_counter() - started
+
+
+@dataclass(slots=True)
+class MatrixRun:
+    """One matrix cell: an index under a policy, across all workloads."""
+
+    index: str
+    policy: str
+    capacity: int
+    workloads: dict[str, RunMetrics] = field(default_factory=dict)
+    overall: RunMetrics = field(default_factory=RunMetrics)
+
+    @property
+    def accounting_ok(self) -> bool:
+        return self.overall.accounting_ok
+
+    def to_dict(self) -> dict:
+        overall = self.overall.to_dict()
+        # Flatten the overall counters to the top level, so the bench
+        # check extractor addresses runs[index=...,policy=...].hit_rate
+        # without another indirection.
+        return {
+            "index": self.index,
+            "policy": self.policy,
+            "capacity": self.capacity,
+            **overall,
+            "workloads": {
+                name: metrics.to_dict()
+                for name, metrics in self.workloads.items()
+            },
+        }
+
+
+def run_cell(
+    index_name: str,
+    index: SpatialIndex,
+    policy: str,
+    capacity: int,
+    workloads: Mapping[str, MatrixWorkload],
+) -> MatrixRun:
+    """Drive every workload through one fresh BufferSystem over the index."""
+    run = MatrixRun(index=index_name, policy=policy, capacity=capacity)
+    system = BufferSystem.build(
+        policy=policy, capacity=capacity, disk=index.pagefile.disk
+    )
+    before = _totals(system)
+    for name, workload in workloads.items():
+        seconds = _drive(system, index, workload)
+        after = _totals(system)
+        metrics = RunMetrics(
+            ops=len(workload),
+            seconds=seconds,
+            **{key: after[key] - before[key] for key in before},
+        )
+        run.workloads[name] = metrics
+        run.overall.add(metrics)
+        before = after
+    system.close()
+    return run
+
+
+# ----------------------------------------------------------------------
+# Cross-index ground truth
+# ----------------------------------------------------------------------
+
+
+def indexes_agree(
+    indexes: Mapping[str, SpatialIndex],
+    workloads: Mapping[str, MatrixWorkload],
+    sample: int,
+) -> dict[str, bool]:
+    """Result-set equality of every index against the R*-tree ground truth.
+
+    Runs a sample of the spatial queries unbuffered on each index and
+    compares the returned object-id sets.  This is the acceptance check
+    that the mqr-tree (and the grid file) answer the *same questions*
+    the same way — hit rates are only comparable when the work is.
+    """
+    queries: list[Query] = []
+    for workload in workloads.values():
+        queries.extend(workload.queries)
+    queries = queries[:sample]
+    if "rstar" not in indexes or not queries:
+        return {name: True for name in indexes}
+    truth = [set(query.run(indexes["rstar"])) for query in queries]
+    verdict: dict[str, bool] = {"rstar": True}
+    for name, index in indexes.items():
+        if name == "rstar":
+            continue
+        verdict[name] = all(
+            set(query.run(index)) == expected
+            for query, expected in zip(queries, truth)
+        )
+    return verdict
+
+
+# ----------------------------------------------------------------------
+# The production-trace replay leg
+# ----------------------------------------------------------------------
+
+
+def replay_production(
+    trace_path: str, policies: Sequence[str]
+) -> dict[str, RunMetrics]:
+    """Replay the committed server trace under each policy.
+
+    The trace carries its own page catalogue, so the replay is
+    index-independent: same requests, same pages, different policies —
+    the canonical counterfactual comparison on a production-shaped
+    reference string.
+    """
+    trace = RecordedTrace.load(trace_path)
+    results: dict[str, RunMetrics] = {}
+    for policy in policies:
+        system = BufferSystem.build(
+            policy=policy,
+            capacity=trace.capacity,
+            disk=disk_from_catalogue(trace.catalogue),
+        )
+        started = time.perf_counter()
+        drive_requests(system.buffer, trace.requests())
+        seconds = time.perf_counter() - started
+        totals = _totals(system)
+        results[policy] = RunMetrics(
+            ops=len(trace.requests()), seconds=seconds, **totals
+        )
+        system.close()
+    return results
+
+
+# ----------------------------------------------------------------------
+# The report
+# ----------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class IndexInfo:
+    """Structure facts of one built index (for the report)."""
+
+    name: str
+    pages: int
+    height: int
+    entries: int
+    capacity: int
+    build_seconds: float
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "pages": self.pages,
+            "height": self.height,
+            "entries": self.entries,
+            "capacity": self.capacity,
+            "build_seconds": round(self.build_seconds, 4),
+        }
+
+
+@dataclass(slots=True)
+class MatrixReport:
+    """The full matrix outcome: cells, rankings, replay leg, acceptance."""
+
+    params: MatrixParams
+    run_id: str
+    indexes: list[IndexInfo] = field(default_factory=list)
+    workloads: dict[str, MatrixWorkload] = field(default_factory=dict)
+    runs: list[MatrixRun] = field(default_factory=list)
+    agreement: dict[str, bool] = field(default_factory=dict)
+    replay: dict[str, RunMetrics] = field(default_factory=dict)
+    stages: list[StageRecord] = field(default_factory=list)
+
+    def rankings(self) -> dict[str, list[dict]]:
+        """Per-workload cells ranked by hit rate (best first)."""
+        ranked: dict[str, list[dict]] = {}
+        for name in self.workloads:
+            cells = [
+                {
+                    "index": run.index,
+                    "policy": run.policy,
+                    "hit_rate": round(run.workloads[name].hit_rate, 4),
+                    "disk_reads": run.workloads[name].disk_reads,
+                }
+                for run in self.runs
+                if name in run.workloads
+            ]
+            ranked[name] = sorted(cells, key=lambda cell: -cell["hit_rate"])
+        return ranked
+
+    def acceptance(self) -> dict:
+        index_names = {run.index for run in self.runs}
+        policy_names = {run.policy for run in self.runs}
+        return {
+            "indexes_covered": len(index_names),
+            "policies_covered": len(policy_names),
+            "workloads_covered": len(self.workloads),
+            "at_least_2_indexes": len(index_names) >= 2,
+            "at_least_4_policies": len(policy_names) >= 4,
+            "at_least_3_workloads": len(self.workloads) >= 3,
+            "accounting_identity_holds": all(
+                run.accounting_ok for run in self.runs
+            )
+            and all(metrics.accounting_ok for metrics in self.replay.values()),
+            "indexes_agree_with_rstar": all(self.agreement.values()),
+        }
+
+    def to_dict(self) -> dict:
+        data = {
+            "benchmark": "matrix",
+            "meta": run_metadata(self.params.seed, run_id=self.run_id),
+            "config": {
+                "n_objects": self.params.n_objects,
+                "n_queries": self.params.n_queries,
+                "buffer_fraction": self.params.buffer_fraction,
+                "graph_length": self.params.graph_length,
+                "policies": list(self.params.policies),
+                "indexes": list(self.params.indexes),
+                "workload_names": list(self.params.workloads),
+                "replay_trace": self.params.replay_trace,
+            },
+            "indexes": [info.to_dict() for info in self.indexes],
+            "workloads": [
+                {
+                    "name": workload.name,
+                    "length": len(workload),
+                    "digest": workload.digest(),
+                }
+                for workload in self.workloads.values()
+            ],
+            "runs": [run.to_dict() for run in self.runs],
+            "rankings": self.rankings(),
+            "agreement": dict(self.agreement),
+            "stages": [stage.to_dict() for stage in self.stages],
+            "acceptance": self.acceptance(),
+        }
+        if self.replay:
+            data["replay"] = {
+                policy: metrics.to_dict()
+                for policy, metrics in self.replay.items()
+            }
+        return data
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+            handle.write("\n")
+
+    def to_text(self) -> str:
+        params = self.params
+        lines = [
+            f"matrix — {len(params.indexes)} index(es) × "
+            f"{len(params.policies)} policies × {len(self.workloads)} "
+            f"workload(s), {params.n_objects} objects, seed {params.seed} "
+            f"(run {self.run_id})",
+            "",
+        ]
+        for info in self.indexes:
+            lines.append(
+                f"  {info.name:>9}: {info.pages} pages, height {info.height}, "
+                f"{info.entries} entries, buffer {info.capacity} frames, "
+                f"built in {info.build_seconds:.1f}s"
+            )
+        for name, cells in self.rankings().items():
+            lines.append("")
+            lines.append(f"{name} (ranked by hit rate):")
+            lines.append(
+                f"{'rank':>4} {'index':>9} {'policy':>9} {'hit rate':>8} "
+                f"{'reads':>8}"
+            )
+            for rank, cell in enumerate(cells, start=1):
+                lines.append(
+                    f"{rank:>4} {cell['index']:>9} {cell['policy']:>9} "
+                    f"{cell['hit_rate']:>8.1%} {cell['disk_reads']:>8}"
+                )
+        if self.replay:
+            lines.append("")
+            lines.append("replay (production-day server trace):")
+            ranked = sorted(
+                self.replay.items(), key=lambda item: -item[1].hit_rate
+            )
+            for policy, metrics in ranked:
+                lines.append(
+                    f"  {policy:>9}: hit rate {metrics.hit_rate:.1%}, "
+                    f"{metrics.disk_reads} reads"
+                )
+        verdict = self.acceptance()
+        lines.append("")
+        lines.append(
+            "acceptance: "
+            f"indexes={verdict['indexes_covered']} "
+            f"policies={verdict['policies_covered']} "
+            f"workloads={verdict['workloads_covered']} "
+            f"accounting={verdict['accounting_identity_holds']} "
+            f"agree={verdict['indexes_agree_with_rstar']}"
+        )
+        return "\n".join(lines)
+
+
+def run_matrix(params: MatrixParams | None = None, **kwargs) -> MatrixReport:
+    """Execute the whole matrix: build indexes, drive every cell, rank."""
+    if params is None:
+        params = MatrixParams(**kwargs)
+    elif kwargs:
+        raise TypeError("pass either a MatrixParams or keyword overrides")
+    report = MatrixReport(params=params, run_id=_run_id(params))
+    workloads = matrix_workloads(params, _make_stream(params))
+    report.workloads = workloads
+    indexes: dict[str, SpatialIndex] = {}
+    for kind in params.indexes:
+        index, build_seconds = build_index(kind, params)
+        indexes[kind] = index
+        stats = index.stats()
+        capacity = max(8, round(params.buffer_fraction * stats.page_count))
+        report.indexes.append(
+            IndexInfo(
+                name=kind,
+                pages=stats.page_count,
+                height=stats.height,
+                entries=stats.entry_count,
+                capacity=capacity,
+                build_seconds=build_seconds,
+            )
+        )
+        report.stages.append(
+            StageRecord(
+                name=f"build:{kind}",
+                seconds=build_seconds,
+                detail=f"{stats.page_count} pages, height {stats.height}",
+            )
+        )
+    started = time.perf_counter()
+    report.agreement = indexes_agree(indexes, workloads, params.agreement_sample)
+    report.stages.append(
+        StageRecord(
+            name="ground-truth",
+            seconds=time.perf_counter() - started,
+            detail=f"{params.agreement_sample} sampled queries vs rstar",
+        )
+    )
+    capacities = {info.name: info.capacity for info in report.indexes}
+    for kind in params.indexes:
+        for policy in params.policies:
+            run = run_cell(
+                kind, indexes[kind], policy, capacities[kind], workloads
+            )
+            report.runs.append(run)
+            report.stages.append(
+                StageRecord(
+                    name=f"drive:{kind}/{policy}",
+                    seconds=run.overall.seconds,
+                    detail=(
+                        f"{run.overall.ops} ops, "
+                        f"hit rate {run.overall.hit_rate:.1%}"
+                    ),
+                )
+            )
+    if params.replay_trace:
+        started = time.perf_counter()
+        report.replay = replay_production(params.replay_trace, params.policies)
+        report.stages.append(
+            StageRecord(
+                name="replay:production",
+                seconds=time.perf_counter() - started,
+                detail=params.replay_trace,
+            )
+        )
+    return report

@@ -9,7 +9,10 @@ z-values in a B-tree.  This package provides all of them:
 * :class:`RTree` — Guttman's original R-tree (linear/quadratic split) as a
   baseline SAM;
 * :class:`Quadtree` — a bucket PR quadtree over buffered pages;
-* :class:`ZBTree` — a B+-tree over z-order values.
+* :class:`ZBTree` — a B+-tree over z-order values;
+* :class:`MqrTree` — the mqr-tree (Moreau & Osborn), whose 2-dimensional
+  nodes organise entries by centroid relationships and keep equal-level
+  node MBRs overlap-free for point data.
 
 All indexes build through a :class:`~repro.storage.pagefile.PageFile`
 (unaccounted) and answer queries through any page accessor — typically a
@@ -19,6 +22,7 @@ a query passes through the replacement policy under study.
 
 from repro.sam.base import PageAccessor, SpatialIndex, TreeStats
 from repro.sam.gridfile import GridFile
+from repro.sam.mqr import MqrTree
 from repro.sam.quadtree import Quadtree
 from repro.sam.rstar import RStarTree
 from repro.sam.rtree import RTree
@@ -33,4 +37,5 @@ __all__ = [
     "Quadtree",
     "ZBTree",
     "GridFile",
+    "MqrTree",
 ]

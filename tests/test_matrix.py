@@ -1,0 +1,147 @@
+"""Contract tests for the policy × index × workload matrix harness."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.benchcheck import extract_report
+from repro.experiments.matrix import (
+    MatrixParams,
+    MatrixReport,
+    _project_walk,
+    run_matrix,
+)
+from repro.workloads.access_graph import clustered_graph, graph_walk
+
+#: Small enough for the tier-1 suite, big enough to evict.
+SMOKE = dict(
+    n_objects=1_200,
+    n_queries=48,
+    graph_length=600,
+    policies=("LRU", "ASB"),
+    indexes=("rstar", "mqr"),
+)
+
+
+@pytest.fixture(scope="module")
+def report() -> MatrixReport:
+    return run_matrix(MatrixParams(**SMOKE))
+
+
+class TestParams:
+    def test_rejects_unknown_index(self):
+        with pytest.raises(ValueError, match="index"):
+            MatrixParams(indexes=("rstar", "btree"))
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(ValueError, match="workload"):
+            MatrixParams(workloads=("phased", "nope"))
+
+    def test_rejects_empty_policies(self):
+        with pytest.raises(ValueError):
+            MatrixParams(policies=())
+
+    def test_run_id_tracks_config(self):
+        from repro.experiments.matrix import _run_id
+
+        a = _run_id(MatrixParams())
+        assert a == _run_id(MatrixParams())  # deterministic
+        assert a != _run_id(MatrixParams(seed=8))
+
+
+class TestProjectWalk:
+    def test_covers_page_space_and_preserves_structure(self):
+        walk = graph_walk(clustered_graph(3, 8), 200, seed=1)
+        small = _project_walk(walk, list(range(100, 124)))
+        assert len(small) == 200
+        assert all(100 <= page_id < 124 for page_id in small)
+        # Same node ⇒ same page: the projection is a function.
+        mapping: dict[int, int] = {}
+        for node, page_id in zip(walk.pages, small):
+            assert mapping.setdefault(node, page_id) == page_id
+
+
+class TestMatrixRun:
+    def test_covers_every_cell(self, report):
+        cells = {(run.index, run.policy) for run in report.runs}
+        assert cells == {
+            (index, policy)
+            for index in SMOKE["indexes"]
+            for policy in SMOKE["policies"]
+        }
+        for run in report.runs:
+            assert set(run.workloads) == {"phased", "graph", "mainland"}
+
+    def test_counters_are_live_and_consistent(self, report):
+        for run in report.runs:
+            assert run.overall.requests > 0
+            assert run.accounting_ok
+            assert run.overall.evictions > 0, (
+                f"{run.index}/{run.policy}: buffer never filled — the "
+                "matrix is not exercising replacement"
+            )
+
+    def test_indexes_answer_identically(self, report):
+        assert report.agreement == {"rstar": True, "mqr": True}
+
+    def test_counters_are_deterministic(self, report):
+        """Same params ⇒ identical counters (wall-clock aside)."""
+        again = run_matrix(MatrixParams(**SMOKE))
+        ours = {
+            (run.index, run.policy): (
+                run.overall.requests,
+                run.overall.hits,
+                run.overall.disk_reads,
+            )
+            for run in report.runs
+        }
+        theirs = {
+            (run.index, run.policy): (
+                run.overall.requests,
+                run.overall.hits,
+                run.overall.disk_reads,
+            )
+            for run in again.runs
+        }
+        assert ours == theirs
+
+    def test_acceptance_reflects_coverage(self, report):
+        verdict = report.acceptance()
+        assert verdict["at_least_2_indexes"]
+        assert verdict["at_least_3_workloads"]
+        assert not verdict["at_least_4_policies"]  # smoke runs only 2
+        assert verdict["accounting_identity_holds"]
+        assert verdict["indexes_agree_with_rstar"]
+
+
+class TestReportSchema:
+    def test_round_trips_through_json(self, report, tmp_path):
+        path = tmp_path / "BENCH_matrix.json"
+        report.save(path)
+        data = json.loads(path.read_text())
+        assert data["benchmark"] == "matrix"
+        assert data["meta"]["run_id"] == report.run_id
+        assert len(data["runs"]) == len(report.runs)
+        assert {w["name"] for w in data["workloads"]} == set(report.workloads)
+
+    def test_bench_check_extracts_it(self, report, tmp_path):
+        """The committed-report gate must understand the schema."""
+        path = tmp_path / "BENCH_matrix.json"
+        report.save(path)
+        data = json.loads(path.read_text())
+        extracted = extract_report("BENCH_matrix.json", data)
+        assert extracted is not None
+        metrics, guards = extracted
+        assert any(metric.key.endswith("hit_rate") for metric in metrics)
+        # The smoke config intentionally fails the 4-policy coverage
+        # guard; everything else holds.
+        failing = {guard.key for guard in guards if not guard.ok}
+        assert failing == {"acceptance.at_least_4_policies"}
+
+    def test_to_text_mentions_every_cell(self, report):
+        text = report.to_text()
+        for run in report.runs:
+            assert run.policy in text
+            assert run.index in text
